@@ -1,0 +1,288 @@
+package semprox
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/fixtures"
+	"repro/internal/index"
+	"repro/internal/match"
+	"repro/internal/mining"
+)
+
+// One benchmark per table and figure of the paper's evaluation (Sect. V),
+// each regenerating the corresponding report through the experiment
+// harness at bench scale, plus micro-benchmarks for the hot paths
+// (matching engines, proximity evaluation, training). Run
+// cmd/experiments for the full-size reports.
+
+// benchConfig is the reduced scale used inside benchmarks.
+func benchConfig() experiments.Config {
+	tr := core.DefaultTrain()
+	tr.Restarts = 1
+	tr.MaxIters = 80
+	return experiments.Config{
+		LinkedInUsers: 200,
+		FacebookUsers: 150,
+		Seed:          1,
+		Splits:        1,
+		ExampleSizes:  []int{10, 100},
+		TrainExamples: 100,
+		TopK:          10,
+		Train:         tr,
+		Mining:        mining.Options{MaxNodes: 4, MinSupport: 5},
+	}
+}
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *experiments.Suite
+)
+
+// sharedSuite returns a suite with pre-built pipelines so individual
+// benchmarks measure their experiment, not dataset construction.
+func sharedSuite() *experiments.Suite {
+	benchSuiteOnce.Do(func() {
+		benchSuite = experiments.NewSuite(benchConfig())
+		for _, name := range benchSuite.DatasetNames() {
+			benchSuite.Pipeline(name)
+		}
+	})
+	return benchSuite
+}
+
+func BenchmarkTable2DatasetPrep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if rep := s.Table2(); len(rep.Rows) != 2 {
+			b.Fatal("bad Table II")
+		}
+	}
+}
+
+func BenchmarkFig4WeightSparsity(b *testing.B) {
+	s := sharedSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Fig4(); len(rep.Rows) == 0 {
+			b.Fatal("bad Fig. 4")
+		}
+	}
+}
+
+func BenchmarkFig6AccuracyNDCG(b *testing.B) {
+	s := sharedSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Fig6(); len(rep.Rows) == 0 {
+			b.Fatal("bad Fig. 6")
+		}
+	}
+}
+
+func BenchmarkFig7AccuracyMAP(b *testing.B) {
+	s := sharedSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Fig7(); len(rep.Rows) == 0 {
+			b.Fatal("bad Fig. 7")
+		}
+	}
+}
+
+func BenchmarkTable3TimeCosts(b *testing.B) {
+	s := sharedSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Table3(); len(rep.Rows) != 2 {
+			b.Fatal("bad Table III")
+		}
+	}
+}
+
+func BenchmarkFig8DualStage(b *testing.B) {
+	s := sharedSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Fig8(); len(rep.Rows) == 0 {
+			b.Fatal("bad Fig. 8")
+		}
+	}
+}
+
+func BenchmarkFig9SSFSCorrelation(b *testing.B) {
+	s := sharedSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Fig9(); len(rep.Rows) == 0 {
+			b.Fatal("bad Fig. 9")
+		}
+	}
+}
+
+func BenchmarkFig10CHvsRCH(b *testing.B) {
+	s := sharedSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Fig10(); len(rep.Rows) == 0 {
+			b.Fatal("bad Fig. 10")
+		}
+	}
+}
+
+func BenchmarkFig11MatchingEngines(b *testing.B) {
+	s := sharedSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Fig11(); len(rep.Rows) == 0 {
+			b.Fatal("bad Fig. 11")
+		}
+	}
+}
+
+// ---- micro-benchmarks: per-engine matching cost on one dataset ----
+// These isolate the Fig. 11 comparison per engine.
+
+func benchDataset() *dataset.Dataset {
+	return dataset.LinkedIn(dataset.Config{Users: 200, Seed: 1, NoiseRate: 0.05})
+}
+
+func benchMatcher(b *testing.B, mk func(*Graph) match.Matcher) {
+	b.Helper()
+	ds := benchDataset()
+	pats := mining.ProximityFilter(
+		mining.Mine(ds.G, mining.Options{MaxNodes: 4, MinSupport: 5}), ds.Anchor)
+	ms := mining.Metagraphs(pats)
+	if len(ms) == 0 {
+		b.Fatal("no metagraphs")
+	}
+	eng := mk(ds.G)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range ms {
+			eng.Match(m, func([]NodeID) bool { return true })
+		}
+	}
+}
+
+func BenchmarkMatchSymISO(b *testing.B) {
+	benchMatcher(b, func(g *Graph) match.Matcher { return match.NewSymISO(g) })
+}
+
+func BenchmarkMatchSymISOR(b *testing.B) {
+	benchMatcher(b, func(g *Graph) match.Matcher { return match.NewSymISOR(g, 1) })
+}
+
+func BenchmarkMatchBoostISO(b *testing.B) {
+	benchMatcher(b, func(g *Graph) match.Matcher { return match.NewBoostISO(g) })
+}
+
+func BenchmarkMatchTurboISO(b *testing.B) {
+	benchMatcher(b, func(g *Graph) match.Matcher { return match.NewTurboISO(g) })
+}
+
+func BenchmarkMatchQuickSI(b *testing.B) {
+	benchMatcher(b, func(g *Graph) match.Matcher { return match.NewQuickSI(g) })
+}
+
+// ---- micro-benchmarks: online phase and learning ----
+
+func benchIndex(b *testing.B) (*Graph, *index.Index) {
+	b.Helper()
+	ds := benchDataset()
+	pats := mining.ProximityFilter(
+		mining.Mine(ds.G, mining.Options{MaxNodes: 4, MinSupport: 5}), ds.Anchor)
+	ms := mining.Metagraphs(pats)
+	bld := index.NewBuilder(len(ms))
+	matcher := match.NewSymISO(ds.G)
+	for i, m := range ms {
+		bld.AddMetagraph(i, m, matcher)
+	}
+	return ds.G, bld.Build()
+}
+
+// BenchmarkOnlineQuery measures the online phase of Table III: one ranked
+// query against precomputed vectors.
+func BenchmarkOnlineQuery(b *testing.B) {
+	g, ix := benchIndex(b)
+	w := core.UniformWeights(ix.NumMeta())
+	users := g.NodesOfType(g.Types().ID("user"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Rank(ix, w, users[i%len(users)])
+	}
+}
+
+// BenchmarkProximityEval measures a single π(x, y) evaluation.
+func BenchmarkProximityEval(b *testing.B) {
+	g, ix := benchIndex(b)
+	w := core.UniformWeights(ix.NumMeta())
+	users := g.NodesOfType(g.Types().ID("user"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Proximity(ix, w, users[i%len(users)], users[(i+7)%len(users)])
+	}
+}
+
+// BenchmarkTrain measures one full training run (Table III's training
+// column at bench scale).
+func BenchmarkTrain(b *testing.B) {
+	ds := benchDataset()
+	g, ix := ds.G, (*index.Index)(nil)
+	pats := mining.ProximityFilter(
+		mining.Mine(g, mining.Options{MaxNodes: 4, MinSupport: 5}), ds.Anchor)
+	ms := mining.Metagraphs(pats)
+	bld := index.NewBuilder(len(ms))
+	matcher := match.NewSymISO(g)
+	for i, m := range ms {
+		bld.AddMetagraph(i, m, matcher)
+	}
+	ix = bld.Build()
+	labels := ds.Classes["college"]
+	queries := labels.Queries()
+	splits := eval.Splits(queries, 0.2, 1, 1)
+	examples := eval.MakeExamples(labels, splits[0].Train, ds.Users(), 100, 1)
+	opts := core.DefaultTrain()
+	opts.Restarts = 1
+	opts.MaxIters = 80
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Train(ix, examples, opts)
+	}
+}
+
+// BenchmarkMining measures metagraph enumeration (Table III's mining
+// column at bench scale).
+func BenchmarkMining(b *testing.B) {
+	ds := benchDataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.Mine(ds.G, mining.Options{MaxNodes: 4, MinSupport: 5})
+	}
+}
+
+// BenchmarkEngineEndToEnd measures the full public-API flow on the toy
+// graph: mine, train, query.
+func BenchmarkEngineEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := fixtures.Toy()
+		opts := DefaultOptions()
+		opts.Mining = mining.Options{MaxNodes: 4, MinSupport: 1}
+		opts.Train.Restarts = 1
+		opts.Train.MaxIters = 60
+		eng, err := NewEngine(g, "user", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Train("classmate", []Example{
+			{Q: g.NodeByName("Kate"), X: g.NodeByName("Jay"), Y: g.NodeByName("Alice")},
+		})
+		if _, err := eng.Query("classmate", g.NodeByName("Kate"), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

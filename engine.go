@@ -1,0 +1,213 @@
+package semprox
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/match"
+	"repro/internal/metagraph"
+	"repro/internal/mining"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Mining bounds metagraph enumeration (size cap, MNI support).
+	Mining mining.Options
+	// Train configures gradient ascent (µ, γ, restarts, ...).
+	Train core.TrainOptions
+	// Engine selects the matching engine: "symiso" (default), "quicksi",
+	// "turboiso", or "boostiso". SymISO is the paper's algorithm.
+	Engine string
+	// LogTransform applies log(1+count) to the metagraph vectors, the
+	// count transform suggested in Sect. II-A. Off by default.
+	LogTransform bool
+}
+
+// DefaultOptions mirrors the paper's setup (metagraphs of ≤5 nodes,
+// µ=5, γ=10 with decay, 5 restarts, SymISO matching).
+func DefaultOptions() Options {
+	return Options{
+		Mining: mining.DefaultOptions(),
+		Train:  core.DefaultTrain(),
+		Engine: "symiso",
+	}
+}
+
+// Engine is the end-to-end semantic proximity search system. It is not
+// safe for concurrent mutation (Train*), but Query/Proximity are safe to
+// call concurrently once training is done.
+type Engine struct {
+	g      *graph.Graph
+	anchor graph.TypeID
+	opts   Options
+
+	ms      []*metagraph.Metagraph
+	matcher match.Matcher
+
+	// metaIx caches the single-metagraph index of each matched metagraph;
+	// dual-stage training matches lazily and never re-matches.
+	metaIx []*index.Index
+
+	classes map[string]*classModel
+}
+
+// classModel is the learned state of one semantic class.
+type classModel struct {
+	kept  []int // metagraph indices the model was trained on
+	ix    *index.Index
+	model *core.Model
+}
+
+// NewEngine mines the metagraph set of g (filtered to symmetric
+// metagraphs with a symmetric pair of anchor-typed nodes, per Sect. V-A)
+// and prepares lazy matching. anchorType is the object type proximity is
+// measured between (e.g. "user").
+func NewEngine(g *graph.Graph, anchorType string, opts Options) (*Engine, error) {
+	anchor := g.Types().ID(anchorType)
+	if anchor == graph.InvalidType {
+		return nil, fmt.Errorf("semprox: unknown anchor type %q", anchorType)
+	}
+	e := &Engine{
+		g:       g,
+		anchor:  anchor,
+		opts:    opts,
+		classes: make(map[string]*classModel),
+	}
+	switch opts.Engine {
+	case "", "symiso":
+		e.matcher = match.NewSymISO(g)
+	case "quicksi":
+		e.matcher = match.NewQuickSI(g)
+	case "turboiso":
+		e.matcher = match.NewTurboISO(g)
+	case "boostiso":
+		e.matcher = match.NewBoostISO(g)
+	default:
+		return nil, fmt.Errorf("semprox: unknown matching engine %q", opts.Engine)
+	}
+	patterns := mining.ProximityFilter(mining.Mine(g, opts.Mining), anchor)
+	e.ms = mining.Metagraphs(patterns)
+	e.metaIx = make([]*index.Index, len(e.ms))
+	return e, nil
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Metagraphs returns the mined metagraph set M (do not modify).
+func (e *Engine) Metagraphs() []*Metagraph { return e.ms }
+
+// NumMetagraphs returns |M|.
+func (e *Engine) NumMetagraphs() int { return len(e.ms) }
+
+// metaIndex lazily matches metagraph i and caches its vectors.
+func (e *Engine) metaIndex(i int) *index.Index {
+	if e.metaIx[i] == nil {
+		b := index.NewBuilder(1)
+		b.AddMetagraph(0, e.ms[i], e.matcher)
+		ix := b.Build()
+		if e.opts.LogTransform {
+			ix = ix.Transform(log1p)
+		}
+		e.metaIx[i] = ix
+	}
+	return e.metaIx[i]
+}
+
+// indexFor merges the cached vectors of a metagraph subset.
+func (e *Engine) indexFor(indices []int) *index.Index {
+	parts := make([]*index.Index, len(indices))
+	for k, i := range indices {
+		parts[k] = e.metaIndex(i)
+	}
+	return index.Merge(parts...)
+}
+
+// MatchedCount reports how many metagraphs have been matched so far —
+// after TrainDualStage this stays well below NumMetagraphs, which is the
+// whole point of Alg. 1.
+func (e *Engine) MatchedCount() int {
+	n := 0
+	for _, ix := range e.metaIx {
+		if ix != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Train learns the weight vector of the named class over ALL metagraphs
+// (matching each on first use).
+func (e *Engine) Train(class string, examples []Example) {
+	all := make([]int, len(e.ms))
+	for i := range all {
+		all[i] = i
+	}
+	ix := e.indexFor(all)
+	e.classes[class] = &classModel{
+		kept:  all,
+		ix:    ix,
+		model: core.Train(ix, examples, e.opts.Train),
+	}
+}
+
+// TrainDualStage learns the class with dual-stage training (Alg. 1):
+// only the metapath seeds plus numCandidates heuristically-selected
+// metagraphs are ever matched.
+func (e *Engine) TrainDualStage(class string, examples []Example, numCandidates int) {
+	opts := core.DefaultDualStage(numCandidates)
+	opts.Train = e.opts.Train
+	res := core.DualStage(e.ms, e.indexFor, examples, opts)
+	e.classes[class] = &classModel{
+		kept:  res.Kept,
+		ix:    e.indexFor(res.Kept),
+		model: res.Model,
+	}
+}
+
+// Classes returns the trained class names, sorted.
+func (e *Engine) Classes() []string {
+	out := make([]string, 0, len(e.classes))
+	for c := range e.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Weights returns the learned weight per metagraph index for a class
+// (zero for metagraphs the class never matched), or nil if the class is
+// untrained.
+func (e *Engine) Weights(class string) []float64 {
+	cm := e.classes[class]
+	if cm == nil {
+		return nil
+	}
+	w := make([]float64, len(e.ms))
+	for k, idx := range cm.kept {
+		w[idx] = cm.model.W[k]
+	}
+	return w
+}
+
+// Query ranks the nodes closest to q under the named class and returns
+// the top k (k <= 0 returns all candidates). The class must be trained.
+func (e *Engine) Query(class string, q NodeID, k int) ([]Ranked, error) {
+	cm := e.classes[class]
+	if cm == nil {
+		return nil, fmt.Errorf("semprox: class %q not trained", class)
+	}
+	return core.RankTop(cm.ix, cm.model.W, q, k), nil
+}
+
+// Proximity evaluates π(x, y) under the named class's learned weights.
+func (e *Engine) Proximity(class string, x, y NodeID) (float64, error) {
+	cm := e.classes[class]
+	if cm == nil {
+		return 0, fmt.Errorf("semprox: class %q not trained", class)
+	}
+	return core.Proximity(cm.ix, cm.model.W, x, y), nil
+}

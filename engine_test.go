@@ -1,0 +1,158 @@
+package semprox
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/mining"
+)
+
+// toyEngine builds an engine over the paper's toy graph with mining
+// parameters loose enough to find M1–M4-style patterns.
+func toyEngine(t testing.TB) (*Engine, *Graph) {
+	t.Helper()
+	g := fixtures.Toy()
+	opts := DefaultOptions()
+	opts.Mining = mining.Options{MaxNodes: 4, MinSupport: 1}
+	opts.Train.Restarts = 2
+	opts.Train.MaxIters = 200
+	eng, err := NewEngine(g, "user", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, g
+}
+
+func classmateExamples(g *Graph) []Example {
+	return []Example{
+		{Q: g.NodeByName("Kate"), X: g.NodeByName("Jay"), Y: g.NodeByName("Alice")},
+		{Q: g.NodeByName("Bob"), X: g.NodeByName("Tom"), Y: g.NodeByName("Alice")},
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	g := fixtures.Toy()
+	if _, err := NewEngine(g, "nope", DefaultOptions()); err == nil {
+		t.Fatal("unknown anchor type accepted")
+	}
+	bad := DefaultOptions()
+	bad.Engine = "nope"
+	if _, err := NewEngine(g, "user", bad); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestEngineMinesMetagraphs(t *testing.T) {
+	eng, _ := toyEngine(t)
+	if eng.NumMetagraphs() == 0 {
+		t.Fatal("no metagraphs")
+	}
+	if len(eng.Metagraphs()) != eng.NumMetagraphs() {
+		t.Fatal("Metagraphs length mismatch")
+	}
+	if eng.MatchedCount() != 0 {
+		t.Fatal("engine matched eagerly")
+	}
+}
+
+func TestEngineTrainAndQuery(t *testing.T) {
+	eng, g := toyEngine(t)
+	eng.Train("classmate", classmateExamples(g))
+	if eng.MatchedCount() != eng.NumMetagraphs() {
+		t.Fatal("full training should match everything")
+	}
+	if got := eng.Classes(); len(got) != 1 || got[0] != "classmate" {
+		t.Fatalf("Classes = %v", got)
+	}
+	res, err := eng.Query("classmate", g.NodeByName("Kate"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Node != g.NodeByName("Jay") {
+		t.Fatalf("Query(Kate) = %v, want Jay first", res)
+	}
+	p, err := eng.Proximity("classmate", g.NodeByName("Kate"), g.NodeByName("Jay"))
+	if err != nil || p <= 0 || p > 1 {
+		t.Fatalf("Proximity = %f, %v", p, err)
+	}
+	w := eng.Weights("classmate")
+	if len(w) != eng.NumMetagraphs() {
+		t.Fatalf("Weights length %d", len(w))
+	}
+}
+
+func TestEngineUntrainedClassErrors(t *testing.T) {
+	eng, g := toyEngine(t)
+	if _, err := eng.Query("nope", g.NodeByName("Kate"), 5); err == nil {
+		t.Fatal("query on untrained class succeeded")
+	}
+	if _, err := eng.Proximity("nope", 0, 1); err == nil {
+		t.Fatal("proximity on untrained class succeeded")
+	}
+	if eng.Weights("nope") != nil {
+		t.Fatal("weights for untrained class")
+	}
+}
+
+func TestEngineDualStageMatchesLazily(t *testing.T) {
+	eng, g := toyEngine(t)
+	eng.TrainDualStage("classmate", classmateExamples(g), 2)
+	matched := eng.MatchedCount()
+	if matched == 0 {
+		t.Fatal("dual stage matched nothing")
+	}
+	if matched >= eng.NumMetagraphs() {
+		t.Fatalf("dual stage matched all %d metagraphs; expected a strict subset", matched)
+	}
+	res, err := eng.Query("classmate", g.NodeByName("Kate"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("empty dual-stage ranking")
+	}
+}
+
+func TestEngineLogTransform(t *testing.T) {
+	g := fixtures.Toy()
+	opts := DefaultOptions()
+	opts.Mining = mining.Options{MaxNodes: 3, MinSupport: 1}
+	opts.LogTransform = true
+	opts.Train.Restarts = 1
+	opts.Train.MaxIters = 50
+	eng, err := NewEngine(g, "user", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Train("any", classmateExamples(g))
+	if _, err := eng.Query("any", g.NodeByName("Kate"), 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphRoundTripViaFacade(t *testing.T) {
+	g := fixtures.Toy()
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Fatal("round trip lost nodes")
+	}
+}
+
+func TestMakeExamplesFacade(t *testing.T) {
+	g := fixtures.Toy()
+	labels := Labels{}
+	labels.Add(g.NodeByName("Kate"), g.NodeByName("Jay"))
+	users := g.NodesOfType(g.Types().ID("user"))
+	ex := MakeExamples(labels, []NodeID{g.NodeByName("Kate")}, users, 5, 1)
+	if len(ex) == 0 {
+		t.Fatal("no examples")
+	}
+}

@@ -1,0 +1,98 @@
+// Package baselines implements the comparison systems of the paper's
+// accuracy study (Sect. V-B): MPP (metapath-restricted MGP), MGP-U
+// (uniform weights), MGP-B (single best metagraph), and SRW (supervised
+// random walks after Backstrom & Leskovec, WSDM'11).
+package baselines
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/metagraph"
+)
+
+// Ranker produces a proximity ranking for a query node; all compared
+// systems implement it so the evaluation harness can treat them uniformly.
+type Ranker interface {
+	Name() string
+	Rank(q graph.NodeID) []core.Ranked
+}
+
+// MGPRanker ranks by the MGP measure under a fixed weight vector. The full
+// MGP system, MGP-U, MGP-B and MPP are all MGPRankers over different
+// weights/indices.
+type MGPRanker struct {
+	Label string
+	Ix    *index.Index
+	W     []float64
+}
+
+// Name implements Ranker.
+func (r *MGPRanker) Name() string { return r.Label }
+
+// Rank implements Ranker.
+func (r *MGPRanker) Rank(q graph.NodeID) []core.Ranked {
+	return core.Rank(r.Ix, r.W, q)
+}
+
+// NewMGP trains the full MGP system on all metagraphs.
+func NewMGP(ix *index.Index, examples []core.Example, opts core.TrainOptions) *MGPRanker {
+	model := core.Train(ix, examples, opts)
+	return &MGPRanker{Label: "MGP", Ix: ix, W: model.W}
+}
+
+// NewMGPU is MGP with uniform weights: no supervision, no differentiation
+// between metagraphs.
+func NewMGPU(ix *index.Index) *MGPRanker {
+	return &MGPRanker{Label: "MGP-U", Ix: ix, W: core.UniformWeights(ix.NumMeta())}
+}
+
+// NewMPP restricts the metagraph set to metapaths (the representation of
+// PathSim-style systems) and applies the same supervised learning. It
+// returns the ranker and the retained original indices.
+func NewMPP(ms []*metagraph.Metagraph, ix *index.Index, examples []core.Example, opts core.TrainOptions) (*MGPRanker, []int) {
+	paths := core.Seeds(ms)
+	sub := ix.Project(paths)
+	model := core.Train(sub, examples, opts)
+	return &MGPRanker{Label: "MPP", Ix: sub, W: model.W}, paths
+}
+
+// NewMGPB finds the single metagraph that best orders the training
+// examples on its own (one-hot weights) and ranks with it alone.
+func NewMGPB(ix *index.Index, examples []core.Example) *MGPRanker {
+	best, bestScore := 0, -1
+	w := make([]float64, ix.NumMeta())
+	for i := 0; i < ix.NumMeta(); i++ {
+		for j := range w {
+			w[j] = 0
+		}
+		w[i] = 1
+		score := 0
+		for _, ex := range examples {
+			if core.Proximity(ix, w, ex.Q, ex.X) > core.Proximity(ix, w, ex.Q, ex.Y) {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	w = make([]float64, ix.NumMeta())
+	w[best] = 1
+	return &MGPRanker{Label: "MGP-B", Ix: ix, W: w}
+}
+
+// BestIndex reports which metagraph a MGP-B ranker selected (the index of
+// its one-hot weight), or -1 for other rankers.
+func (r *MGPRanker) BestIndex() int {
+	idx := -1
+	for i, v := range r.W {
+		if v != 0 {
+			if idx != -1 {
+				return -1 // more than one non-zero: not one-hot
+			}
+			idx = i
+		}
+	}
+	return idx
+}

@@ -1,0 +1,327 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// SRW implements supervised random walks (Backstrom & Leskovec, WSDM'11)
+// adapted to typed object graphs as the paper does (Sect. V-B): each edge's
+// strength is a function of features derived from its endpoint types, the
+// strengths bias a personalized-PageRank transition matrix, and the feature
+// weights are learned from the same pairwise ranking examples.
+//
+// Concretely the feature of edge {u, v} is the unordered type pair
+// (τ(u), τ(v)) and the strength is a(u,v) = exp(θ[f(u,v)]); the typed
+// structure keeps the transition rows cheap to normalize. Ranking scores
+// are the stationary personalized-PageRank probabilities approximated by
+// power iteration, and ∂p/∂θ is computed by the matching iterative scheme.
+type SRW struct {
+	g       *graph.Graph
+	theta   []float64
+	alpha   float64 // restart probability
+	iters   int     // power iterations for p and ∂p/∂θ
+	rank    graph.TypeID
+	feature []int32 // feature id per unordered type pair
+	nf      int
+}
+
+// SRWOptions configures SRW training.
+type SRWOptions struct {
+	Alpha      float64 // restart probability (default 0.2)
+	Iterations int     // power iterations (default 12)
+	Steps      int     // gradient steps (default 30)
+	Rate       float64 // gradient step size (default 1)
+	Mu         float64 // sigmoid scale of the pairwise loss (default 5)
+	MaxQueries int     // cap on distinct queries per gradient step (0 = all)
+	Seed       int64
+}
+
+// DefaultSRW returns the option set used by the experiments.
+func DefaultSRW() SRWOptions {
+	return SRWOptions{Alpha: 0.2, Iterations: 12, Steps: 30, Rate: 0.5, Mu: 5, Seed: 1}
+}
+
+// NewSRW trains SRW on g. rankType restricts rankings to nodes of that type
+// (user-to-user proximity in the paper's evaluation).
+func NewSRW(g *graph.Graph, rankType graph.TypeID, examples []core.Example, opts SRWOptions) *SRW {
+	if opts.Alpha == 0 {
+		opts = DefaultSRW()
+	}
+	nt := g.NumTypes()
+	s := &SRW{
+		g:       g,
+		alpha:   opts.Alpha,
+		iters:   opts.Iterations,
+		rank:    rankType,
+		feature: make([]int32, nt*nt),
+	}
+	// Dense feature ids for unordered type pairs.
+	for i := range s.feature {
+		s.feature[i] = -1
+	}
+	id := int32(0)
+	for t1 := 0; t1 < nt; t1++ {
+		for t2 := t1; t2 < nt; t2++ {
+			s.feature[t1*nt+t2] = id
+			s.feature[t2*nt+t1] = id
+			id++
+		}
+	}
+	s.nf = int(id)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	s.theta = make([]float64, s.nf)
+	for i := range s.theta {
+		s.theta[i] = 0.1 * rng.NormFloat64()
+	}
+	s.train(examples, opts)
+	return s
+}
+
+// Name implements Ranker.
+func (s *SRW) Name() string { return "SRW" }
+
+// featureOf returns the feature id of edge {u, v}.
+func (s *SRW) featureOf(u, v graph.NodeID) int32 {
+	return s.feature[int(s.g.Type(u))*s.g.NumTypes()+int(s.g.Type(v))]
+}
+
+// rowNorm returns Z_u = Σ_w a(u,w), exploiting that strengths depend only
+// on the neighbor's type.
+func (s *SRW) rowNorm(u graph.NodeID, strength []float64) float64 {
+	z := 0.0
+	for t := 0; t < s.g.NumTypes(); t++ {
+		d := s.g.DegreeOfType(u, graph.TypeID(t))
+		if d > 0 {
+			z += float64(d) * strength[s.featureOf(u, s.g.NodesOfType(graph.TypeID(t))[0])]
+		}
+	}
+	return z
+}
+
+// strengths materializes exp(θ[f]) per feature.
+func (s *SRW) strengths() []float64 {
+	a := make([]float64, s.nf)
+	for i, th := range s.theta {
+		a[i] = math.Exp(th)
+	}
+	return a
+}
+
+// pagerank computes the personalized PageRank vector for query q under the
+// current θ. When grad is non-nil it also computes ∂p/∂θ_f for every
+// feature via the coupled iteration.
+func (s *SRW) pagerank(q graph.NodeID, withGrad bool) (p []float64, dp [][]float64) {
+	n := s.g.NumNodes()
+	a := s.strengths()
+
+	// Row normalizers.
+	z := make([]float64, n)
+	for u := 0; u < n; u++ {
+		z[u] = s.rowNorm(graph.NodeID(u), a)
+	}
+
+	p = make([]float64, n)
+	p[q] = 1
+	next := make([]float64, n)
+	if withGrad {
+		dp = make([][]float64, s.nf)
+		for f := range dp {
+			dp[f] = make([]float64, n)
+		}
+	}
+	dnext := make([]float64, n)
+
+	for it := 0; it < s.iters; it++ {
+		// next = α e_q + (1-α) Pᵀ p
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			if p[u] == 0 || z[u] == 0 {
+				continue
+			}
+			pu := (1 - s.alpha) * p[u] / z[u]
+			for _, v := range s.g.Neighbors(graph.NodeID(u)) {
+				next[v] += pu * a[s.featureOf(graph.NodeID(u), v)]
+			}
+		}
+		next[q] += s.alpha
+
+		if withGrad {
+			// dφ_f ← (1-α)(Pᵀ dφ_f + (∂Pᵀ/∂θ_f) p), where
+			// ∂P_uv/∂θ_f = P_uv (1[f(u,v)=f] − S_u(f)) with
+			// S_u(f) = Σ_w P_uw 1[f(u,w)=f].
+			for f := 0; f < s.nf; f++ {
+				cur := dp[f]
+				for i := range dnext {
+					dnext[i] = 0
+				}
+				for u := 0; u < n; u++ {
+					if z[u] == 0 {
+						continue
+					}
+					uu := graph.NodeID(u)
+					// S_u(f): probability mass of u's transitions with
+					// feature f.
+					var su float64
+					for t := 0; t < s.g.NumTypes(); t++ {
+						d := s.g.DegreeOfType(uu, graph.TypeID(t))
+						if d == 0 {
+							continue
+						}
+						ft := s.featureOf(uu, s.g.NodesOfType(graph.TypeID(t))[0])
+						if int(ft) == f {
+							su += float64(d) * a[ft] / z[u]
+						}
+					}
+					cu := (1 - s.alpha) * cur[u] / z[u]
+					pu := (1 - s.alpha) * p[u] / z[u]
+					if cu == 0 && (pu == 0 || (su == 0 && !s.rowHasFeature(uu, f))) {
+						continue
+					}
+					for _, v := range s.g.Neighbors(uu) {
+						fv := s.featureOf(uu, v)
+						puv := a[fv]
+						// Pᵀ dφ term.
+						if cu != 0 {
+							dnext[v] += cu * puv
+						}
+						// (∂Pᵀ/∂θ_f) p term.
+						if pu != 0 {
+							ind := 0.0
+							if int(fv) == f {
+								ind = 1
+							}
+							if ind != 0 || su != 0 {
+								dnext[v] += pu * puv * (ind - su)
+							}
+						}
+					}
+				}
+				copy(cur, dnext)
+			}
+		}
+		p, next = next, p
+	}
+	return p, dp
+}
+
+// rowHasFeature reports whether node u has any incident edge with feature f.
+func (s *SRW) rowHasFeature(u graph.NodeID, f int) bool {
+	for t := 0; t < s.g.NumTypes(); t++ {
+		if s.g.DegreeOfType(u, graph.TypeID(t)) == 0 {
+			continue
+		}
+		if int(s.featureOf(u, s.g.NodesOfType(graph.TypeID(t))[0])) == f {
+			return true
+		}
+	}
+	return false
+}
+
+// train runs gradient ascent on the pairwise sigmoid likelihood, grouping
+// examples by query so each query's PageRank (and derivatives) is computed
+// once per step.
+func (s *SRW) train(examples []core.Example, opts SRWOptions) {
+	if len(examples) == 0 {
+		return
+	}
+	byQ := make(map[graph.NodeID][]core.Example)
+	for _, ex := range examples {
+		byQ[ex.Q] = append(byQ[ex.Q], ex)
+	}
+	queries := make([]graph.NodeID, 0, len(byQ))
+	for q := range byQ {
+		queries = append(queries, q)
+	}
+	sort.Slice(queries, func(i, j int) bool { return queries[i] < queries[j] })
+	// PageRank (and its derivative) is recomputed per query per step — the
+	// dominant cost. A deterministic stride-subsample keeps large example
+	// sets affordable without biasing toward any query block.
+	if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
+		stride := len(queries) / opts.MaxQueries
+		sub := make([]graph.NodeID, 0, opts.MaxQueries)
+		for i := 0; i < len(queries) && len(sub) < opts.MaxQueries; i += stride {
+			sub = append(sub, queries[i])
+		}
+		queries = sub
+	}
+
+	grad := make([]float64, s.nf)
+	for step := 0; step < opts.Steps; step++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		used := 0
+		for _, q := range queries {
+			p, dp := s.pagerank(q, true)
+			for _, ex := range byQ[q] {
+				d := p[ex.X] - p[ex.Y]
+				sig := 1 / (1 + math.Exp(-opts.Mu*d))
+				c := opts.Mu * (1 - sig)
+				used++
+				if c == 0 {
+					continue
+				}
+				for f := 0; f < s.nf; f++ {
+					grad[f] += c * (dp[f][ex.X] - dp[f][ex.Y])
+				}
+			}
+		}
+		// Mean gradient: step size independent of the example count.
+		if used > 0 {
+			for f := range grad {
+				grad[f] /= float64(used)
+			}
+		}
+		// Normalized ascent: PageRank differences are O(1/n), so the raw
+		// mean gradient is minuscule; stepping Rate along the L∞-normalized
+		// direction moves θ at a graph-size-independent pace.
+		norm := 0.0
+		for _, gv := range grad {
+			if a := math.Abs(gv); a > norm {
+				norm = a
+			}
+		}
+		if norm < 1e-15 {
+			break
+		}
+		for f := 0; f < s.nf; f++ {
+			s.theta[f] += opts.Rate * grad[f] / norm
+			// Keep strengths bounded; exp(±8) spans 3e3 either way.
+			if s.theta[f] > 8 {
+				s.theta[f] = 8
+			} else if s.theta[f] < -8 {
+				s.theta[f] = -8
+			}
+		}
+	}
+}
+
+// Rank implements Ranker: personalized PageRank scores restricted to the
+// rank type, descending, query excluded.
+func (s *SRW) Rank(q graph.NodeID) []core.Ranked {
+	p, _ := s.pagerank(q, false)
+	var out []core.Ranked
+	for _, v := range s.g.NodesOfType(s.rank) {
+		if v == q || p[v] == 0 {
+			continue
+		}
+		out = append(out, core.Ranked{Node: v, Score: p[v]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Theta exposes the learned feature weights (for tests and reports).
+func (s *SRW) Theta() []float64 { return append([]float64(nil), s.theta...) }

@@ -1,0 +1,103 @@
+// Package core implements the paper's primary contribution: the
+// metagraph-based proximity (MGP) family (Sect. III-A), its supervised
+// learning (Sect. III-B), and dual-stage training (Sect. III-C, Alg. 1).
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// Proximity evaluates the MGP measure of Def. 3:
+//
+//	π(x, y; w) = 2 (m_xy · w) / (m_x · w + m_y · w)
+//
+// over the precomputed metagraph vectors in ix. w must be non-negative and
+// len(w) == ix.NumMeta(). π(x, x) is 1 by the self-maximum property; a pair
+// with zero denominator (neither node ever occurs symmetrically under w's
+// support) has proximity 0.
+func Proximity(ix *index.Index, w []float64, x, y graph.NodeID) float64 {
+	if x == y {
+		return 1
+	}
+	den := ix.NodeVec(x).Dot(w) + ix.NodeVec(y).Dot(w)
+	if den <= 0 {
+		return 0
+	}
+	return 2 * ix.PairVec(x, y).Dot(w) / den
+}
+
+// Ranked is one entry of a proximity ranking.
+type Ranked struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// Rank returns the candidate nodes for query q ordered by descending MGP
+// (ties broken by ascending node id for determinism). Candidates are the
+// nodes that co-occur symmetrically with q in at least one instance — every
+// other node has proximity 0 (online phase of Fig. 3).
+func Rank(ix *index.Index, w []float64, q graph.NodeID) []Ranked {
+	partners := ix.Partners(q)
+	out := make([]Ranked, 0, len(partners))
+	qDot := ix.NodeVec(q).Dot(w)
+	for _, v := range partners {
+		den := qDot + ix.NodeVec(v).Dot(w)
+		if den <= 0 {
+			continue
+		}
+		s := 2 * ix.PairVec(q, v).Dot(w) / den
+		if s > 0 {
+			out = append(out, Ranked{v, s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// RankTop returns the top k of Rank (k <= 0 means all).
+func RankTop(ix *index.Index, w []float64, q graph.NodeID, k int) []Ranked {
+	r := Rank(ix, w, q)
+	if k > 0 && len(r) > k {
+		r = r[:k]
+	}
+	return r
+}
+
+// UniformWeights returns the all-ones weight vector of length n (the MGP-U
+// baseline uses it; by scale-invariance any positive constant is
+// equivalent).
+func UniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// NormalizeWeights scales w in place so its maximum entry is 1 (legal by
+// the scale-invariance property of Theorem 1), clamping negatives to 0.
+// A zero vector is left unchanged.
+func NormalizeWeights(w []float64) {
+	max := 0.0
+	for i, v := range w {
+		if v < 0 {
+			w[i] = 0
+		} else if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return
+	}
+	for i := range w {
+		w[i] /= max
+	}
+}

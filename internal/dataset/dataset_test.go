@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLinkedInShape(t *testing.T) {
+	ds := LinkedIn(Config{Users: 300, Seed: 1, NoiseRate: 0.05})
+	if ds.Name != "LinkedIn" {
+		t.Fatal("name")
+	}
+	g := ds.G
+	if g.NumTypes() != 4 {
+		t.Fatalf("types = %d, want 4", g.NumTypes())
+	}
+	if len(ds.Users()) != 300 {
+		t.Fatalf("users = %d", len(ds.Users()))
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	names := ds.ClassNames()
+	if len(names) != 2 || names[0] != "college" || names[1] != "coworker" {
+		t.Fatalf("classes = %v", names)
+	}
+	for _, c := range names {
+		labels := ds.Classes[c]
+		if labels.NumPairs() == 0 {
+			t.Fatalf("class %s has no pairs", c)
+		}
+		if len(labels.Queries()) < 10 {
+			t.Fatalf("class %s has only %d queries", c, len(labels.Queries()))
+		}
+	}
+}
+
+func TestFacebookShape(t *testing.T) {
+	ds := Facebook(Config{Users: 250, Seed: 2, NoiseRate: 0.05})
+	g := ds.G
+	if g.NumTypes() != 10 {
+		t.Fatalf("types = %d, want 10", g.NumTypes())
+	}
+	if len(ds.Users()) != 250 {
+		t.Fatalf("users = %d", len(ds.Users()))
+	}
+	names := ds.ClassNames()
+	if len(names) != 2 || names[0] != "classmate" || names[1] != "family" {
+		t.Fatalf("classes = %v", names)
+	}
+	for _, c := range names {
+		if ds.Classes[c].NumPairs() == 0 {
+			t.Fatalf("class %s empty", c)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := LinkedIn(Config{Users: 150, Seed: 7, NoiseRate: 0.05})
+	b := LinkedIn(Config{Users: 150, Seed: 7, NoiseRate: 0.05})
+	if a.G.NumNodes() != b.G.NumNodes() || a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("graph generation not deterministic")
+	}
+	for _, c := range a.ClassNames() {
+		if a.Classes[c].NumPairs() != b.Classes[c].NumPairs() {
+			t.Fatalf("labels for %s not deterministic", c)
+		}
+		for _, q := range a.Classes[c].Queries() {
+			for v := range a.Classes[c][q] {
+				if !b.Classes[c].Has(q, v) {
+					t.Fatalf("pair (%d,%d) missing in second run", q, v)
+				}
+			}
+		}
+	}
+	c := LinkedIn(Config{Users: 150, Seed: 8, NoiseRate: 0.05})
+	if a.Classes["college"].NumPairs() == c.Classes["college"].NumPairs() &&
+		a.G.NumEdges() == c.G.NumEdges() {
+		t.Log("warning: different seeds produced identical datasets (possible but unlikely)")
+	}
+}
+
+func TestLabelsAreSymmetricUserPairs(t *testing.T) {
+	ds := Facebook(Config{Users: 200, Seed: 3, NoiseRate: 0.05})
+	for _, c := range ds.ClassNames() {
+		labels := ds.Classes[c]
+		for _, q := range labels.Queries() {
+			if ds.G.Type(q) != ds.Anchor {
+				t.Fatalf("non-user query %d in class %s", q, c)
+			}
+			for v := range labels[q] {
+				if ds.G.Type(v) != ds.Anchor {
+					t.Fatalf("non-user label %d in class %s", v, c)
+				}
+				if !labels.Has(v, q) {
+					t.Fatalf("asymmetric label (%d,%d)", q, v)
+				}
+				if v == q {
+					t.Fatal("self label")
+				}
+			}
+		}
+	}
+}
+
+func TestRuleConsistencyWithoutNoise(t *testing.T) {
+	// With zero noise every family label must satisfy the attribute rule.
+	ds := Facebook(Config{Users: 200, Seed: 4, NoiseRate: 0})
+	g := ds.G
+	shares := func(u, v graph.NodeID, tn string) bool {
+		return len(graph.CommonNeighborsOfType(g, u, v, g.Types().ID(tn))) > 0
+	}
+	fam := ds.Classes["family"]
+	for _, q := range fam.Queries() {
+		for v := range fam[q] {
+			if !shares(q, v, "surname") {
+				t.Fatalf("family pair (%d,%d) without shared surname", q, v)
+			}
+			if !shares(q, v, "location") && !shares(q, v, "hometown") {
+				t.Fatalf("family pair (%d,%d) without shared location/hometown", q, v)
+			}
+		}
+	}
+	cls := ds.Classes["classmate"]
+	for _, q := range cls.Queries() {
+		for v := range cls[q] {
+			if !shares(q, v, "school") {
+				t.Fatalf("classmate pair (%d,%d) without shared school", q, v)
+			}
+			if !shares(q, v, "degree") && !shares(q, v, "major") {
+				t.Fatalf("classmate pair (%d,%d) without shared degree/major", q, v)
+			}
+		}
+	}
+}
+
+func TestNoiseChangesLabels(t *testing.T) {
+	clean := Facebook(Config{Users: 200, Seed: 5, NoiseRate: 0})
+	noisy := Facebook(Config{Users: 200, Seed: 5, NoiseRate: 0.3})
+	diff := false
+	for _, c := range clean.ClassNames() {
+		if clean.Classes[c].NumPairs() != noisy.Classes[c].NumPairs() {
+			diff = true
+			continue
+		}
+		for _, q := range clean.Classes[c].Queries() {
+			for v := range clean.Classes[c][q] {
+				if !noisy.Classes[c].Has(q, v) {
+					diff = true
+				}
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("30% noise changed nothing")
+	}
+}
+
+func TestGraphConnectsUsersOnlyViaAttributes(t *testing.T) {
+	ds := LinkedIn(Config{Users: 120, Seed: 6, NoiseRate: 0.05})
+	g := ds.G
+	g.Edges(func(u, v graph.NodeID) bool {
+		if g.Type(u) == ds.Anchor && g.Type(v) == ds.Anchor {
+			t.Fatalf("direct user–user edge (%d,%d)", u, v)
+		}
+		if g.Type(u) != ds.Anchor && g.Type(v) != ds.Anchor {
+			t.Fatalf("attribute–attribute edge (%d,%d)", u, v)
+		}
+		return true
+	})
+}

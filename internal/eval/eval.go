@@ -1,0 +1,249 @@
+// Package eval provides the evaluation substrate of Sect. V-A: binary
+// relevance ground truth per semantic class, NDCG@k and MAP@k against the
+// ideal ranking, repeated random train/test query splits, and pairwise
+// training-triplet generation.
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Ranker is the minimal interface the harness needs from a proximity
+// system; every system in internal/baselines satisfies it.
+type Ranker interface {
+	Name() string
+	Rank(q graph.NodeID) []core.Ranked
+}
+
+// Relevance is the set of nodes belonging to the desired class w.r.t. one
+// query.
+type Relevance map[graph.NodeID]bool
+
+// Labels is a class's ground truth: query node → relevant set. The
+// relation is symmetric for the symmetric classes this paper considers.
+type Labels map[graph.NodeID]Relevance
+
+// Add records that x and y belong to the class w.r.t. each other.
+func (l Labels) Add(x, y graph.NodeID) {
+	if x == y {
+		return
+	}
+	if l[x] == nil {
+		l[x] = make(Relevance)
+	}
+	if l[y] == nil {
+		l[y] = make(Relevance)
+	}
+	l[x][y] = true
+	l[y][x] = true
+}
+
+// Remove deletes the pair from the class.
+func (l Labels) Remove(x, y graph.NodeID) {
+	if l[x] != nil {
+		delete(l[x], y)
+		if len(l[x]) == 0 {
+			delete(l, x)
+		}
+	}
+	if l[y] != nil {
+		delete(l[y], x)
+		if len(l[y]) == 0 {
+			delete(l, y)
+		}
+	}
+}
+
+// Has reports whether the pair belongs to the class.
+func (l Labels) Has(x, y graph.NodeID) bool { return l[x] != nil && l[x][y] }
+
+// NumPairs returns the number of labeled pairs.
+func (l Labels) NumPairs() int {
+	n := 0
+	for _, rel := range l {
+		n += len(rel)
+	}
+	return n / 2
+}
+
+// Queries returns the nodes usable as queries — those with at least one
+// relevant partner (Sect. V-A) — in ascending order.
+func (l Labels) Queries() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(l))
+	for q, rel := range l {
+		if len(rel) > 0 {
+			out = append(out, q)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NDCGAt computes NDCG@k of a ranking against binary relevance: the ideal
+// ranking places all relevant nodes first.
+func NDCGAt(ranking []core.Ranked, rel Relevance, k int) float64 {
+	if len(rel) == 0 {
+		return 0
+	}
+	dcg := 0.0
+	n := k
+	if len(ranking) < n {
+		n = len(ranking)
+	}
+	for i := 0; i < n; i++ {
+		if rel[ranking[i].Node] {
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := 0.0
+	r := len(rel)
+	if r > k {
+		r = k
+	}
+	for i := 0; i < r; i++ {
+		ideal += 1 / math.Log2(float64(i)+2)
+	}
+	return dcg / ideal
+}
+
+// APAt computes average precision at cutoff k against binary relevance.
+func APAt(ranking []core.Ranked, rel Relevance, k int) float64 {
+	if len(rel) == 0 {
+		return 0
+	}
+	n := k
+	if len(ranking) < n {
+		n = len(ranking)
+	}
+	hits := 0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		if rel[ranking[i].Node] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	denom := len(rel)
+	if denom > k {
+		denom = k
+	}
+	return sum / float64(denom)
+}
+
+// Result is an averaged accuracy measurement.
+type Result struct {
+	NDCG float64
+	MAP  float64
+}
+
+// Evaluate averages NDCG@k and AP@k of the ranker over the given queries.
+func Evaluate(r Ranker, labels Labels, queries []graph.NodeID, k int) Result {
+	if len(queries) == 0 {
+		return Result{}
+	}
+	var res Result
+	for _, q := range queries {
+		ranking := r.Rank(q)
+		rel := labels[q]
+		res.NDCG += NDCGAt(ranking, rel, k)
+		res.MAP += APAt(ranking, rel, k)
+	}
+	res.NDCG /= float64(len(queries))
+	res.MAP /= float64(len(queries))
+	return res
+}
+
+// Split is one train/test partition of the query set.
+type Split struct {
+	Train []graph.NodeID
+	Test  []graph.NodeID
+}
+
+// Splits produces `repeats` independent random splits with the given
+// training fraction (the paper uses 20% training, 10 repeats).
+func Splits(queries []graph.NodeID, trainFrac float64, repeats int, seed int64) []Split {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Split, 0, repeats)
+	for r := 0; r < repeats; r++ {
+		perm := rng.Perm(len(queries))
+		nTrain := int(trainFrac * float64(len(queries)))
+		if nTrain < 1 && len(queries) > 0 {
+			nTrain = 1
+		}
+		s := Split{}
+		for i, p := range perm {
+			if i < nTrain {
+				s.Train = append(s.Train, queries[p])
+			} else {
+				s.Test = append(s.Test, queries[p])
+			}
+		}
+		sort.Slice(s.Train, func(i, j int) bool { return s.Train[i] < s.Train[j] })
+		sort.Slice(s.Test, func(i, j int) bool { return s.Test[i] < s.Test[j] })
+		out = append(out, s)
+	}
+	return out
+}
+
+// MakeExamples samples up to n training triplets (q, x, y): q is a training
+// query, x is relevant to q, and y is drawn from candidates and not
+// relevant (Sect. V-A). Candidates are typically the user nodes.
+func MakeExamples(labels Labels, train []graph.NodeID, candidates []graph.NodeID, n int, seed int64) []core.Example {
+	return MakeExamplesHard(labels, train, candidates, nil, 0, n, seed)
+}
+
+// MakeExamplesHard is MakeExamples with hard negatives: with probability
+// hardFrac the negative y is drawn from hardOf(q) — typically the nodes
+// that co-occur with q in some metagraph instance — instead of uniformly
+// from candidates. Uniform negatives mostly share nothing with q and are
+// separated by any weighting, which leaves the likelihood blind to the
+// distinctions that matter at ranking time; hard negatives restore that
+// signal. Negatives are still always outside the class, as Sect. V-A
+// requires.
+func MakeExamplesHard(labels Labels, train []graph.NodeID, candidates []graph.NodeID,
+	hardOf func(graph.NodeID) []graph.NodeID, hardFrac float64, n int, seed int64) []core.Example {
+	rng := rand.New(rand.NewSource(seed))
+	var out []core.Example
+	if len(train) == 0 || len(candidates) == 0 {
+		return out
+	}
+	// Sorted relevant lists per query keep sampling deterministic (map
+	// iteration order is not).
+	relOf := make(map[graph.NodeID][]graph.NodeID, len(train))
+	for _, q := range train {
+		var rs []graph.NodeID
+		for v := range labels[q] {
+			rs = append(rs, v)
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		relOf[q] = rs
+	}
+	for attempts := 0; len(out) < n && attempts < 50*n; attempts++ {
+		q := train[rng.Intn(len(train))]
+		rs := relOf[q]
+		if len(rs) == 0 {
+			continue
+		}
+		x := rs[rng.Intn(len(rs))]
+		var y graph.NodeID
+		if hardOf != nil && hardFrac > 0 && rng.Float64() < hardFrac {
+			hard := hardOf(q)
+			if len(hard) == 0 {
+				continue
+			}
+			y = hard[rng.Intn(len(hard))]
+		} else {
+			y = candidates[rng.Intn(len(candidates))]
+		}
+		if y == q || labels[q][y] {
+			continue
+		}
+		out = append(out, core.Example{Q: q, X: x, Y: y})
+	}
+	return out
+}

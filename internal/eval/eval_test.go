@@ -1,0 +1,205 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func rk(nodes ...graph.NodeID) []core.Ranked {
+	out := make([]core.Ranked, len(nodes))
+	for i, n := range nodes {
+		out[i] = core.Ranked{Node: n, Score: float64(len(nodes) - i)}
+	}
+	return out
+}
+
+func TestNDCGPerfect(t *testing.T) {
+	rel := Relevance{1: true, 2: true}
+	if got := NDCGAt(rk(1, 2, 3), rel, 10); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect NDCG = %f", got)
+	}
+}
+
+func TestNDCGEmptyAndMiss(t *testing.T) {
+	if got := NDCGAt(rk(1, 2), Relevance{}, 10); got != 0 {
+		t.Fatalf("NDCG with no relevant = %f", got)
+	}
+	if got := NDCGAt(rk(3, 4), Relevance{1: true}, 10); got != 0 {
+		t.Fatalf("NDCG all misses = %f", got)
+	}
+	if got := NDCGAt(nil, Relevance{1: true}, 10); got != 0 {
+		t.Fatalf("NDCG of empty ranking = %f", got)
+	}
+}
+
+func TestNDCGPositionDiscount(t *testing.T) {
+	rel := Relevance{1: true}
+	top := NDCGAt(rk(1, 2, 3), rel, 10)
+	third := NDCGAt(rk(2, 3, 1), rel, 10)
+	if top <= third {
+		t.Fatalf("NDCG must discount by position: %f vs %f", top, third)
+	}
+	// Exact value at rank 3: (1/log2(4)) / (1/log2(2)) = 0.5.
+	if math.Abs(third-0.5) > 1e-12 {
+		t.Fatalf("NDCG@rank3 = %f, want 0.5", third)
+	}
+}
+
+func TestNDCGCutoff(t *testing.T) {
+	rel := Relevance{9: true}
+	// Relevant item beyond the cutoff contributes nothing.
+	ranking := rk(1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 9)
+	if got := NDCGAt(ranking, rel, 10); got != 0 {
+		t.Fatalf("NDCG beyond cutoff = %f", got)
+	}
+}
+
+func TestAPAt(t *testing.T) {
+	rel := Relevance{1: true, 2: true}
+	// Ranking: 1 (hit@1), 3, 2 (hit@3): AP = (1/1 + 2/3)/2.
+	want := (1.0 + 2.0/3.0) / 2
+	if got := APAt(rk(1, 3, 2), rel, 10); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AP = %f, want %f", got, want)
+	}
+	if got := APAt(rk(3, 4), rel, 10); got != 0 {
+		t.Fatalf("AP all misses = %f", got)
+	}
+	if got := APAt(nil, Relevance{}, 10); got != 0 {
+		t.Fatalf("AP empty = %f", got)
+	}
+}
+
+func TestAPAtDenominatorCap(t *testing.T) {
+	// 15 relevant items but cutoff 10: denominator must be 10, so a
+	// perfect top-10 gives AP 1.
+	rel := Relevance{}
+	var nodes []graph.NodeID
+	for i := graph.NodeID(0); i < 15; i++ {
+		rel[i] = true
+		if i < 10 {
+			nodes = append(nodes, i)
+		}
+	}
+	if got := APAt(rk(nodes...), rel, 10); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("capped AP = %f, want 1", got)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	l := Labels{}
+	l.Add(1, 2)
+	l.Add(1, 3)
+	l.Add(1, 1) // ignored
+	if !l.Has(1, 2) || !l.Has(2, 1) {
+		t.Fatal("Add not symmetric")
+	}
+	if l.NumPairs() != 2 {
+		t.Fatalf("NumPairs = %d", l.NumPairs())
+	}
+	qs := l.Queries()
+	if len(qs) != 3 || qs[0] != 1 || qs[1] != 2 || qs[2] != 3 {
+		t.Fatalf("Queries = %v", qs)
+	}
+	l.Remove(1, 2)
+	if l.Has(1, 2) || l.Has(2, 1) {
+		t.Fatal("Remove not symmetric")
+	}
+	if len(l.Queries()) != 2 {
+		t.Fatalf("Queries after remove = %v", l.Queries())
+	}
+}
+
+func TestSplits(t *testing.T) {
+	queries := make([]graph.NodeID, 20)
+	for i := range queries {
+		queries[i] = graph.NodeID(i)
+	}
+	splits := Splits(queries, 0.2, 10, 7)
+	if len(splits) != 10 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	for _, s := range splits {
+		if len(s.Train) != 4 || len(s.Test) != 16 {
+			t.Fatalf("split sizes %d/%d", len(s.Train), len(s.Test))
+		}
+		seen := make(map[graph.NodeID]bool)
+		for _, q := range append(append([]graph.NodeID(nil), s.Train...), s.Test...) {
+			if seen[q] {
+				t.Fatal("query in both partitions")
+			}
+			seen[q] = true
+		}
+		if len(seen) != 20 {
+			t.Fatal("split does not cover all queries")
+		}
+	}
+	// Deterministic under the same seed, different across seeds.
+	again := Splits(queries, 0.2, 10, 7)
+	for i := range splits {
+		for j := range splits[i].Train {
+			if splits[i].Train[j] != again[i].Train[j] {
+				t.Fatal("splits not deterministic")
+			}
+		}
+	}
+}
+
+func TestSplitsTinyQuerySet(t *testing.T) {
+	s := Splits([]graph.NodeID{1, 2}, 0.2, 1, 1)
+	if len(s[0].Train) != 1 || len(s[0].Test) != 1 {
+		t.Fatalf("tiny split %v", s)
+	}
+}
+
+func TestMakeExamples(t *testing.T) {
+	l := Labels{}
+	l.Add(1, 2)
+	l.Add(3, 4)
+	candidates := []graph.NodeID{1, 2, 3, 4, 5, 6}
+	ex := MakeExamples(l, []graph.NodeID{1, 3}, candidates, 50, 9)
+	if len(ex) != 50 {
+		t.Fatalf("examples = %d", len(ex))
+	}
+	for _, e := range ex {
+		if !l.Has(e.Q, e.X) {
+			t.Fatalf("x not relevant in %+v", e)
+		}
+		if l.Has(e.Q, e.Y) || e.Y == e.Q {
+			t.Fatalf("bad y in %+v", e)
+		}
+	}
+	// Deterministic.
+	ex2 := MakeExamples(l, []graph.NodeID{1, 3}, candidates, 50, 9)
+	for i := range ex {
+		if ex[i] != ex2[i] {
+			t.Fatal("MakeExamples not deterministic")
+		}
+	}
+	if got := MakeExamples(l, nil, candidates, 5, 1); len(got) != 0 {
+		t.Fatal("examples from empty train set")
+	}
+}
+
+// fixedRanker returns a constant ranking; used to test Evaluate.
+type fixedRanker struct{ r []core.Ranked }
+
+func (f fixedRanker) Name() string                      { return "fixed" }
+func (f fixedRanker) Rank(q graph.NodeID) []core.Ranked { return f.r }
+
+func TestEvaluate(t *testing.T) {
+	l := Labels{}
+	l.Add(1, 2)
+	l.Add(3, 2)
+	r := fixedRanker{rk(2, 4)}
+	res := Evaluate(r, l, []graph.NodeID{1, 3}, 10)
+	// Both queries have node 2 relevant and ranked first: perfect.
+	if math.Abs(res.NDCG-1) > 1e-12 || math.Abs(res.MAP-1) > 1e-12 {
+		t.Fatalf("Evaluate = %+v", res)
+	}
+	if got := Evaluate(r, l, nil, 10); got.NDCG != 0 || got.MAP != 0 {
+		t.Fatalf("Evaluate with no queries = %+v", got)
+	}
+}

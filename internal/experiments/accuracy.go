@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+// Figs. 6 and 7: NDCG@10 / MAP@10 of MGP, MPP, MGP-U, MGP-B and SRW as the
+// number of training examples |Ω| grows, averaged over random splits and
+// the dataset's two classes are reported separately — exactly the four
+// panels of each figure.
+
+// algoOrder is the legend order of Figs. 6–7.
+var algoOrder = []string{"MGP", "MPP", "MGP-U", "MGP-B", "SRW"}
+
+type accuracyCell struct {
+	NDCG, MAP float64
+}
+
+type accuracyResults struct {
+	// byClass[class][algo][|Ω|] = averaged result
+	byClass map[string]map[string]map[int]accuracyCell
+}
+
+// accuracyFor computes (and caches) the full accuracy sweep for a dataset.
+func (s *Suite) accuracyFor(name string) *accuracyResults {
+	if r, ok := s.accuracy[name]; ok {
+		return r
+	}
+	p := s.Pipeline(name)
+	res := &accuracyResults{byClass: make(map[string]map[string]map[int]accuracyCell)}
+
+	for _, class := range classesOf(p) {
+		labels := p.DS.Classes[class]
+		splits := s.classSplits(p, class)
+		perAlgo := make(map[string]map[int]accuracyCell)
+		for _, a := range algoOrder {
+			perAlgo[a] = make(map[int]accuracyCell)
+		}
+
+		for si, split := range splits {
+			for _, nEx := range s.Cfg.ExampleSizes {
+				examples := s.trainExamples(p, class, split, nEx, s.Cfg.Seed+int64(1000*si+nEx))
+
+				rankers := []eval.Ranker{
+					baselines.NewMGP(p.Index, examples, s.Cfg.Train),
+					s.mppRanker(p, examples),
+					baselines.NewMGPU(p.Index),
+					baselines.NewMGPB(p.Index, examples),
+					baselines.NewSRW(p.DS.G, p.DS.Anchor, examples, srwOptions()),
+				}
+				for _, r := range rankers {
+					got := eval.Evaluate(r, labels, split.Test, s.Cfg.TopK)
+					cell := perAlgo[r.Name()][nEx]
+					cell.NDCG += got.NDCG / float64(len(splits))
+					cell.MAP += got.MAP / float64(len(splits))
+					perAlgo[r.Name()][nEx] = cell
+				}
+			}
+		}
+		res.byClass[class] = perAlgo
+	}
+	s.accuracy[name] = res
+	return res
+}
+
+func (s *Suite) mppRanker(p *Pipeline, examples []core.Example) eval.Ranker {
+	r, _ := baselines.NewMPP(p.Ms, p.Index, examples, s.Cfg.Train)
+	return r
+}
+
+func srwOptions() baselines.SRWOptions {
+	o := baselines.DefaultSRW()
+	// Keep the walk affordable inside the sweep; accuracy plateaus well
+	// before this on the synthetic graphs. The query cap bounds the
+	// per-step PageRank+derivative recomputations, which dominate SRW.
+	o.Steps = 15
+	o.Iterations = 10
+	o.MaxQueries = 25
+	return o
+}
+
+// accuracyReport renders one metric of the sweep across both datasets.
+func (s *Suite) accuracyReport(title string, pick func(accuracyCell) float64) Report {
+	rep := Report{
+		Title:  title,
+		Header: []string{"dataset", "class", "algorithm"},
+	}
+	sizes := s.Cfg.ExampleSizes
+	for _, n := range sizes {
+		rep.Header = append(rep.Header, fmt.Sprintf("|Ω|=%d", n))
+	}
+	for _, name := range s.DatasetNames() {
+		res := s.accuracyFor(name)
+		classes := make([]string, 0, len(res.byClass))
+		for c := range res.byClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			for _, algo := range algoOrder {
+				row := []string{name, class, algo}
+				for _, n := range sizes {
+					row = append(row, f3(pick(res.byClass[class][algo][n])))
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("averaged over %d random 20/80 train-test splits, top-%d ranking", s.Cfg.Splits, s.Cfg.TopK))
+	return rep
+}
+
+// Fig6 reproduces Fig. 6: NDCG@10 vs |Ω|.
+func (s *Suite) Fig6() Report {
+	return s.accuracyReport("Fig. 6 — NDCG of MGP and baselines", func(c accuracyCell) float64 { return c.NDCG })
+}
+
+// Fig7 reproduces Fig. 7: MAP@10 vs |Ω|.
+func (s *Suite) Fig7() Report {
+	return s.accuracyReport("Fig. 7 — MAP of MGP and baselines", func(c accuracyCell) float64 { return c.MAP })
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/metagraph"
+)
+
+// Fig11 reproduces Fig. 11: average matching time per metagraph, grouped
+// by metagraph size |V_M|, for SymISO, SymISO-R, BoostISO, TurboISO and
+// QuickSI. Engines are rebuilt per dataset (their per-graph precomputation
+// is excluded from the timings, matching how the baselines' index build is
+// treated in the paper).
+func (s *Suite) Fig11() Report {
+	rep := Report{
+		Title:  "Fig. 11 — Average matching time per metagraph (ms)",
+		Header: []string{"dataset", "|V_M|", "#mg", "SymISO", "SymISO-R", "BoostISO", "TurboISO", "QuickSI"},
+	}
+	for _, name := range s.DatasetNames() {
+		p := s.Pipeline(name)
+		g := p.DS.G
+		engines := []match.Matcher{
+			match.NewSymISO(g),
+			match.NewSymISOR(g, s.Cfg.Seed),
+			match.NewBoostISO(g),
+			match.NewTurboISO(g),
+			match.NewQuickSI(g),
+		}
+		bySize := make(map[int][]*metagraph.Metagraph)
+		for _, m := range p.Ms {
+			bySize[m.N()] = append(bySize[m.N()], m)
+		}
+		for size := 3; size <= 5; size++ {
+			ms := bySize[size]
+			if len(ms) == 0 {
+				continue
+			}
+			// Cap the per-size sample to keep the figure affordable while
+			// averaging over enough metagraphs to be stable.
+			if len(ms) > 24 {
+				ms = ms[:24]
+			}
+			row := []string{name, fmt.Sprintf("%d", size), fmt.Sprintf("%d", len(ms))}
+			for _, eng := range engines {
+				var total time.Duration
+				for _, m := range ms {
+					t0 := time.Now()
+					eng.Match(m, func([]graph.NodeID) bool { return true })
+					total += time.Since(t0)
+				}
+				row = append(row, fmt.Sprintf("%.2f", total.Seconds()*1000/float64(len(ms))))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"SymISO should beat every backtracking baseline, with a growing margin as |V_M| rises (paper: −52% vs best baseline, ~45% vs SymISO-R)")
+	return rep
+}
+
+// All runs every experiment in paper order.
+func (s *Suite) All() []Report {
+	return []Report{
+		s.Table2(),
+		s.Fig4(),
+		s.Fig6(),
+		s.Fig7(),
+		s.Table3(),
+		s.Fig8(),
+		s.Fig9(),
+		s.Fig10(),
+		s.Fig11(),
+	}
+}

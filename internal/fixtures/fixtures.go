@@ -1,0 +1,98 @@
+// Package fixtures provides the paper's running example — the toy social
+// network of Fig. 1(a) and the metagraphs M1–M5 of Fig. 2 and Fig. 5 — for
+// tests, examples, and documentation across the repository.
+package fixtures
+
+import (
+	"repro/internal/graph"
+	"repro/internal/metagraph"
+)
+
+// Type ids of the toy graph, fixed by registration order in Toy.
+const (
+	TUser graph.TypeID = iota
+	TSurname
+	TAddress
+	TSchool
+	TMajor
+	TEmployer
+	THobby
+)
+
+// TypeNames lists the toy type names in TypeID order.
+var TypeNames = []string{"user", "surname", "address", "school", "major", "employer", "hobby"}
+
+// Toy builds the toy social network of Fig. 1(a): five users (Alice, Bob,
+// Kate, Jay, Tom) interconnected through shared attribute nodes.
+func Toy() *graph.Graph {
+	b := graph.NewBuilder()
+	for _, n := range TypeNames {
+		b.Types().Register(n)
+	}
+	alice := b.AddNodeOnce("user", "Alice")
+	bob := b.AddNodeOnce("user", "Bob")
+	kate := b.AddNodeOnce("user", "Kate")
+	jay := b.AddNodeOnce("user", "Jay")
+	tom := b.AddNodeOnce("user", "Tom")
+	clinton := b.AddNodeOnce("surname", "Clinton")
+	green := b.AddNodeOnce("address", "123 Green St")
+	white := b.AddNodeOnce("address", "456 White St")
+	collegeA := b.AddNodeOnce("school", "College A")
+	collegeB := b.AddNodeOnce("school", "College B")
+	econ := b.AddNodeOnce("major", "Economics")
+	physics := b.AddNodeOnce("major", "Physics")
+	companyX := b.AddNodeOnce("employer", "Company X")
+	music := b.AddNodeOnce("hobby", "Music")
+	for _, e := range [][2]graph.NodeID{
+		{alice, clinton}, {bob, clinton},
+		{alice, green}, {bob, green},
+		{kate, white}, {jay, white},
+		{bob, collegeA}, {tom, collegeA},
+		{kate, collegeB}, {jay, collegeB},
+		{bob, econ}, {tom, econ},
+		{kate, physics}, {jay, physics},
+		{alice, companyX}, {kate, companyX},
+		{alice, music}, {kate, music},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+// M1 is Fig. 2(a): two users sharing a school and a major (classmate).
+func M1() *metagraph.Metagraph {
+	return metagraph.MustNew([]graph.TypeID{TUser, TUser, TSchool, TMajor},
+		[]metagraph.Edge{{U: 0, V: 2}, {U: 1, V: 2}, {U: 0, V: 3}, {U: 1, V: 3}})
+}
+
+// M2 is Fig. 2(b) left: two users sharing an employer and a hobby (close
+// friend).
+func M2() *metagraph.Metagraph {
+	return metagraph.MustNew([]graph.TypeID{TUser, TUser, TEmployer, THobby},
+		[]metagraph.Edge{{U: 0, V: 2}, {U: 1, V: 2}, {U: 0, V: 3}, {U: 1, V: 3}})
+}
+
+// M3 is Fig. 2(b) right: the metapath user–address–user (close friend).
+func M3() *metagraph.Metagraph {
+	return metagraph.MustNew([]graph.TypeID{TUser, TAddress, TUser},
+		[]metagraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+}
+
+// M4 is Fig. 2(c): two users sharing a surname and an address (family).
+func M4() *metagraph.Metagraph {
+	return metagraph.MustNew([]graph.TypeID{TUser, TUser, TSurname, TAddress},
+		[]metagraph.Edge{{U: 0, V: 2}, {U: 1, V: 2}, {U: 0, V: 3}, {U: 1, V: 3}})
+}
+
+// M5 is Fig. 5: the six-node metagraph whose components {u1,u2} and
+// {u5,u6} are jointly symmetric.
+func M5() *metagraph.Metagraph {
+	return metagraph.MustNew(
+		[]graph.TypeID{TUser, TMajor, TSchool, TUser, TUser, TMajor},
+		[]metagraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 4, V: 5}, {U: 2, V: 5}})
+}
+
+// All returns M1–M4, the metagraph set used by most toy-level tests.
+func All() []*metagraph.Metagraph {
+	return []*metagraph.Metagraph{M1(), M2(), M3(), M4()}
+}

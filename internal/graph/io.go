@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line oriented:
+//
+//	# comment
+//	N <type-name> <value...>      declares the next node (ids are implicit,
+//	                              assigned 0,1,2,... in order of appearance)
+//	E <u> <v>                     declares an undirected edge
+//
+// Values may contain spaces; everything after the type name is the value.
+// The format is intentionally trivial so datasets can be inspected and
+// hand-edited.
+
+// Write serializes g in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# typed object graph: %d nodes, %d edges, %d types\n",
+		g.NumNodes(), g.NumEdges(), g.NumTypes())
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		fmt.Fprintf(bw, "N %s %s\n", g.types.Name(g.Type(v)), g.Name(v))
+	}
+	var werr error
+	g.Edges(func(u, v NodeID) bool {
+		if _, err := fmt.Fprintf(bw, "E %d %d\n", u, v); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch line[0] {
+		case 'N':
+			rest := strings.TrimSpace(line[1:])
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) == 0 || parts[0] == "" {
+				return nil, fmt.Errorf("graph: line %d: node without type", lineNo)
+			}
+			value := ""
+			if len(parts) == 2 {
+				value = parts[1]
+			}
+			b.AddNode(parts[0], value)
+		case 'E':
+			fields := strings.Fields(line[1:])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: edge needs two endpoints", lineNo)
+			}
+			u, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint %q", lineNo, fields[0])
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint %q", lineNo, fields[1])
+			}
+			b.AddEdge(NodeID(u), NodeID(v))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, line[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

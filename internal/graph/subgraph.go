@@ -1,0 +1,51 @@
+package graph
+
+import "sort"
+
+// InducedEdges returns the edges of the subgraph of g induced on nodes,
+// each reported once with U < V. Duplicate input nodes are ignored.
+func InducedEdges(g *Graph, nodes []NodeID) []Edge {
+	set := make(map[NodeID]struct{}, len(nodes))
+	for _, v := range nodes {
+		set[v] = struct{}{}
+	}
+	var out []Edge
+	for v := range set {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				if _, ok := set[u]; ok {
+					out = append(out, Edge{v, u})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// CommonNeighborsOfType returns the nodes of type t adjacent to both u and
+// v, exploiting that typed neighbor lists are sorted.
+func CommonNeighborsOfType(g *Graph, u, v NodeID, t TypeID) []NodeID {
+	a := g.NeighborsOfType(u, t)
+	b := g.NeighborsOfType(v, t)
+	var out []NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+// Package index builds and stores the metagraph vectors of the paper
+// (Eq. 1–2): for every metagraph M_i, m_xy[i] counts the instances of M_i
+// in which nodes x and y sit on positions symmetric to each other
+// (ContainsSym), and m_x[i] counts the instances in which x sits on a
+// position symmetric to some other position. The vectors are the features
+// of the MGP proximity measure and are precomputed offline (Fig. 3).
+package index
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/metagraph"
+)
+
+// PairKey identifies an unordered node pair.
+type PairKey uint64
+
+// MakePairKey builds the key for the unordered pair {x, y}.
+func MakePairKey(x, y graph.NodeID) PairKey {
+	if x > y {
+		x, y = y, x
+	}
+	return PairKey(uint64(uint32(x))<<32 | uint64(uint32(y)))
+}
+
+// Nodes returns the pair's two nodes with the smaller one first.
+func (k PairKey) Nodes() (graph.NodeID, graph.NodeID) {
+	return graph.NodeID(uint32(k >> 32)), graph.NodeID(uint32(k))
+}
+
+// Entry is one non-zero coordinate of a sparse metagraph vector.
+type Entry struct {
+	Meta  int32   // metagraph index within M
+	Count float64 // instance count (possibly transformed)
+}
+
+// SparseVec is a sparse metagraph vector sorted by Meta.
+type SparseVec []Entry
+
+// Dot returns v · w for a dense weight vector w indexed by metagraph.
+func (v SparseVec) Dot(w []float64) float64 {
+	var s float64
+	for _, e := range v {
+		s += e.Count * w[e.Meta]
+	}
+	return s
+}
+
+// Get returns the coordinate for metagraph i (0 when absent).
+func (v SparseVec) Get(i int) float64 {
+	lo := sort.Search(len(v), func(k int) bool { return v[k].Meta >= int32(i) })
+	if lo < len(v) && v[lo].Meta == int32(i) {
+		return v[lo].Count
+	}
+	return 0
+}
+
+// Index holds the frozen metagraph vectors for one graph and one metagraph
+// set M. It is immutable after Build and safe for concurrent reads.
+type Index struct {
+	numMeta int
+	mx      map[graph.NodeID]SparseVec
+	mxy     map[PairKey]SparseVec
+	// partners[x] lists every y that shares at least one instance with x
+	// symmetrically; the online phase ranks these candidates.
+	partners map[graph.NodeID][]graph.NodeID
+}
+
+// NumMeta returns |M|, the length of the weight vectors this index pairs
+// with.
+func (ix *Index) NumMeta() int { return ix.numMeta }
+
+// NodeVec returns m_x (nil when x never occurs symmetrically).
+func (ix *Index) NodeVec(x graph.NodeID) SparseVec { return ix.mx[x] }
+
+// PairVec returns m_xy (nil when x and y never co-occur symmetrically).
+func (ix *Index) PairVec(x, y graph.NodeID) SparseVec {
+	return ix.mxy[MakePairKey(x, y)]
+}
+
+// Partners returns the nodes that co-occur symmetrically with x in at least
+// one instance, in ascending order. The slice is shared; do not modify.
+func (ix *Index) Partners(x graph.NodeID) []graph.NodeID { return ix.partners[x] }
+
+// NumPairs returns the number of node pairs with a non-zero m_xy.
+func (ix *Index) NumPairs() int { return len(ix.mxy) }
+
+// Transform returns a copy of the index with f applied to every count; the
+// paper mentions log-style transforms of the raw counts (Sect. II-A).
+func (ix *Index) Transform(f func(float64) float64) *Index {
+	out := &Index{
+		numMeta:  ix.numMeta,
+		mx:       make(map[graph.NodeID]SparseVec, len(ix.mx)),
+		mxy:      make(map[PairKey]SparseVec, len(ix.mxy)),
+		partners: ix.partners,
+	}
+	for k, v := range ix.mx {
+		nv := make(SparseVec, len(v))
+		for i, e := range v {
+			nv[i] = Entry{e.Meta, f(e.Count)}
+		}
+		out.mx[k] = nv
+	}
+	for k, v := range ix.mxy {
+		nv := make(SparseVec, len(v))
+		for i, e := range v {
+			nv[i] = Entry{e.Meta, f(e.Count)}
+		}
+		out.mxy[k] = nv
+	}
+	return out
+}
+
+// Project returns a view of the index restricted to the metagraph subset
+// given by keep (indices into the original M), renumbered 0..len(keep)-1 in
+// the given order. Dual-stage training uses it to train on seeds and
+// candidates without re-matching anything.
+func (ix *Index) Project(keep []int) *Index {
+	remap := make(map[int32]int32, len(keep))
+	for newI, oldI := range keep {
+		remap[int32(oldI)] = int32(newI)
+	}
+	project := func(v SparseVec) SparseVec {
+		var nv SparseVec
+		for _, e := range v {
+			if ni, ok := remap[e.Meta]; ok {
+				nv = append(nv, Entry{ni, e.Count})
+			}
+		}
+		sort.Slice(nv, func(a, b int) bool { return nv[a].Meta < nv[b].Meta })
+		return nv
+	}
+	out := &Index{
+		numMeta:  len(keep),
+		mx:       make(map[graph.NodeID]SparseVec, len(ix.mx)),
+		mxy:      make(map[PairKey]SparseVec, len(ix.mxy)),
+		partners: make(map[graph.NodeID][]graph.NodeID, len(ix.partners)),
+	}
+	for k, v := range ix.mx {
+		if nv := project(v); len(nv) > 0 {
+			out.mx[k] = nv
+		}
+	}
+	for k, v := range ix.mxy {
+		if nv := project(v); len(nv) > 0 {
+			out.mxy[k] = nv
+			x, y := k.Nodes()
+			out.partners[x] = append(out.partners[x], y)
+			out.partners[y] = append(out.partners[y], x)
+		}
+	}
+	for k := range out.partners {
+		p := out.partners[k]
+		sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
+	}
+	return out
+}
+
+// Merge combines single-metagraph (or multi-metagraph) indices into one,
+// renumbering metagraphs by concatenation: part k's metagraph j becomes
+// offset(k)+j. The engine caches one single-metagraph index per matched
+// metagraph and merges subsets on demand, so dual-stage training never
+// re-matches anything.
+func Merge(parts ...*Index) *Index {
+	total := 0
+	for _, p := range parts {
+		total += p.numMeta
+	}
+	out := &Index{
+		numMeta:  total,
+		mx:       make(map[graph.NodeID]SparseVec),
+		mxy:      make(map[PairKey]SparseVec),
+		partners: make(map[graph.NodeID][]graph.NodeID),
+	}
+	offset := int32(0)
+	mxRows := make(map[graph.NodeID][]Entry)
+	mxyRows := make(map[PairKey][]Entry)
+	for _, p := range parts {
+		for k, v := range p.mx {
+			for _, e := range v {
+				mxRows[k] = append(mxRows[k], Entry{e.Meta + offset, e.Count})
+			}
+		}
+		for k, v := range p.mxy {
+			for _, e := range v {
+				mxyRows[k] = append(mxyRows[k], Entry{e.Meta + offset, e.Count})
+			}
+		}
+		offset += int32(p.numMeta)
+	}
+	for k, row := range mxRows {
+		out.mx[k] = SparseVec(row) // concatenation order keeps Meta ascending per part append order
+		sort.Slice(out.mx[k], func(a, b int) bool { return out.mx[k][a].Meta < out.mx[k][b].Meta })
+	}
+	for k, row := range mxyRows {
+		v := SparseVec(row)
+		sort.Slice(v, func(a, b int) bool { return v[a].Meta < v[b].Meta })
+		out.mxy[k] = v
+		x, y := k.Nodes()
+		out.partners[x] = append(out.partners[x], y)
+		out.partners[y] = append(out.partners[y], x)
+	}
+	for k := range out.partners {
+		p := out.partners[k]
+		sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
+	}
+	return out
+}
+
+// Builder accumulates instance counts metagraph by metagraph and freezes
+// them into an Index.
+type Builder struct {
+	numMeta int
+	mx      map[graph.NodeID]map[int32]float64
+	mxy     map[PairKey]map[int32]float64
+}
+
+// NewBuilder returns a Builder for a metagraph set of the given size.
+func NewBuilder(numMeta int) *Builder {
+	return &Builder{
+		numMeta: numMeta,
+		mx:      make(map[graph.NodeID]map[int32]float64),
+		mxy:     make(map[PairKey]map[int32]float64),
+	}
+}
+
+// AddMetagraph matches metagraph number i with the given engine and
+// accumulates its contribution to every m_x and m_xy. Asymmetric
+// metagraphs contribute nothing (ContainsSym can never hold) and are
+// skipped without matching.
+func (b *Builder) AddMetagraph(i int, m *metagraph.Metagraph, matcher match.Matcher) {
+	symPairs := m.SymmetricPairs()
+	if len(symPairs) == 0 {
+		return
+	}
+	// Unique positions that participate in any symmetric pair (for Eq. 2).
+	posSet := make([]int, 0, m.N())
+	seen := make(map[int]bool, m.N())
+	for _, p := range symPairs {
+		if !seen[p.U] {
+			seen[p.U] = true
+			posSet = append(posSet, p.U)
+		}
+		if !seen[p.V] {
+			seen[p.V] = true
+			posSet = append(posSet, p.V)
+		}
+	}
+	mi := int32(i)
+	match.Instances(matcher, m, func(a []graph.NodeID) bool {
+		for _, p := range symPairs {
+			key := MakePairKey(a[p.U], a[p.V])
+			row := b.mxy[key]
+			if row == nil {
+				row = make(map[int32]float64, 2)
+				b.mxy[key] = row
+			}
+			row[mi]++
+		}
+		for _, p := range posSet {
+			x := a[p]
+			row := b.mx[x]
+			if row == nil {
+				row = make(map[int32]float64, 4)
+				b.mx[x] = row
+			}
+			row[mi]++
+		}
+		return true
+	})
+}
+
+// Build freezes the accumulated counts into an immutable Index.
+func (b *Builder) Build() *Index {
+	ix := &Index{
+		numMeta:  b.numMeta,
+		mx:       make(map[graph.NodeID]SparseVec, len(b.mx)),
+		mxy:      make(map[PairKey]SparseVec, len(b.mxy)),
+		partners: make(map[graph.NodeID][]graph.NodeID),
+	}
+	for k, row := range b.mx {
+		ix.mx[k] = freeze(row)
+	}
+	for k, row := range b.mxy {
+		ix.mxy[k] = freeze(row)
+		x, y := k.Nodes()
+		ix.partners[x] = append(ix.partners[x], y)
+		ix.partners[y] = append(ix.partners[y], x)
+	}
+	for k := range ix.partners {
+		p := ix.partners[k]
+		sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
+	}
+	return ix
+}
+
+func freeze(row map[int32]float64) SparseVec {
+	v := make(SparseVec, 0, len(row))
+	for i, c := range row {
+		v = append(v, Entry{i, c})
+	}
+	sort.Slice(v, func(a, b int) bool { return v[a].Meta < v[b].Meta })
+	return v
+}

@@ -1,0 +1,334 @@
+package index
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/metagraph"
+)
+
+const (
+	tUser graph.TypeID = iota
+	tSurname
+	tAddress
+	tSchool
+	tMajor
+	tEmployer
+	tHobby
+)
+
+// buildToy reproduces the toy social network of Fig. 1(a); names double as
+// lookups in assertions.
+func buildToy(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	for _, n := range []string{"user", "surname", "address", "school", "major", "employer", "hobby"} {
+		b.Types().Register(n)
+	}
+	alice := b.AddNodeOnce("user", "Alice")
+	bob := b.AddNodeOnce("user", "Bob")
+	kate := b.AddNodeOnce("user", "Kate")
+	jay := b.AddNodeOnce("user", "Jay")
+	tom := b.AddNodeOnce("user", "Tom")
+	clinton := b.AddNodeOnce("surname", "Clinton")
+	green := b.AddNodeOnce("address", "123 Green St")
+	white := b.AddNodeOnce("address", "456 White St")
+	collegeA := b.AddNodeOnce("school", "College A")
+	collegeB := b.AddNodeOnce("school", "College B")
+	econ := b.AddNodeOnce("major", "Economics")
+	physics := b.AddNodeOnce("major", "Physics")
+	companyX := b.AddNodeOnce("employer", "Company X")
+	music := b.AddNodeOnce("hobby", "Music")
+	for _, e := range [][2]graph.NodeID{
+		{alice, clinton}, {bob, clinton},
+		{alice, green}, {bob, green},
+		{kate, white}, {jay, white},
+		{bob, collegeA}, {tom, collegeA},
+		{kate, collegeB}, {jay, collegeB},
+		{bob, econ}, {tom, econ},
+		{kate, physics}, {jay, physics},
+		{alice, companyX}, {kate, companyX},
+		{alice, music}, {kate, music},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+// toyMetagraphs returns M1–M4 of Fig. 2 in order.
+func toyMetagraphs() []*metagraph.Metagraph {
+	m1 := metagraph.MustNew([]graph.TypeID{tUser, tUser, tSchool, tMajor},
+		[]metagraph.Edge{{U: 0, V: 2}, {U: 1, V: 2}, {U: 0, V: 3}, {U: 1, V: 3}})
+	m2 := metagraph.MustNew([]graph.TypeID{tUser, tUser, tEmployer, tHobby},
+		[]metagraph.Edge{{U: 0, V: 2}, {U: 1, V: 2}, {U: 0, V: 3}, {U: 1, V: 3}})
+	m3 := metagraph.MustNew([]graph.TypeID{tUser, tAddress, tUser},
+		[]metagraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	m4 := metagraph.MustNew([]graph.TypeID{tUser, tUser, tSurname, tAddress},
+		[]metagraph.Edge{{U: 0, V: 2}, {U: 1, V: 2}, {U: 0, V: 3}, {U: 1, V: 3}})
+	return []*metagraph.Metagraph{m1, m2, m3, m4}
+}
+
+func buildToyIndex(t testing.TB) (*graph.Graph, *Index) {
+	g := buildToy(t)
+	mgs := toyMetagraphs()
+	bld := NewBuilder(len(mgs))
+	matcher := match.NewSymISO(g)
+	for i, m := range mgs {
+		bld.AddMetagraph(i, m, matcher)
+	}
+	return g, bld.Build()
+}
+
+func TestPairKey(t *testing.T) {
+	k1 := MakePairKey(3, 7)
+	k2 := MakePairKey(7, 3)
+	if k1 != k2 {
+		t.Fatal("PairKey not symmetric")
+	}
+	x, y := k1.Nodes()
+	if x != 3 || y != 7 {
+		t.Fatalf("Nodes = %d,%d", x, y)
+	}
+}
+
+func TestToyVectors(t *testing.T) {
+	g, ix := buildToyIndex(t)
+	alice := g.NodeByName("Alice")
+	bob := g.NodeByName("Bob")
+	kate := g.NodeByName("Kate")
+	jay := g.NodeByName("Jay")
+	tom := g.NodeByName("Tom")
+
+	// Paper Fig. 1(b)/Fig. 2 ground truth:
+	// Kate & Jay share one M1 instance (College B + Physics) and one M3
+	// instance (456 White St).
+	kj := ix.PairVec(kate, jay)
+	if kj.Get(0) != 1 || kj.Get(2) != 1 || kj.Get(1) != 0 || kj.Get(3) != 0 {
+		t.Fatalf("m_{Kate,Jay} = %v", kj)
+	}
+	// Alice & Kate share one M2 instance (Company X + Music).
+	ak := ix.PairVec(alice, kate)
+	if ak.Get(1) != 1 || ak.Get(0) != 0 || ak.Get(3) != 0 {
+		t.Fatalf("m_{Alice,Kate} = %v", ak)
+	}
+	// Alice & Bob: one M4 (Clinton + Green St) and one M3 (Green St).
+	ab := ix.PairVec(alice, bob)
+	if ab.Get(3) != 1 || ab.Get(2) != 1 {
+		t.Fatalf("m_{Alice,Bob} = %v", ab)
+	}
+	// Bob & Tom: one M1 (College A + Economics).
+	bt := ix.PairVec(bob, tom)
+	if bt.Get(0) != 1 {
+		t.Fatalf("m_{Bob,Tom} = %v", bt)
+	}
+	// Kate & Tom share nothing.
+	if v := ix.PairVec(kate, tom); v != nil {
+		t.Fatalf("m_{Kate,Tom} = %v, want nil", v)
+	}
+
+	// m_x: Alice occurs symmetrically in M2 (once), M3 (once), M4 (once).
+	ax := ix.NodeVec(alice)
+	if ax.Get(1) != 1 || ax.Get(2) != 1 || ax.Get(3) != 1 || ax.Get(0) != 0 {
+		t.Fatalf("m_Alice = %v", ax)
+	}
+	// Tom only occurs in M1.
+	tx := ix.NodeVec(tom)
+	if tx.Get(0) != 1 || tx.Get(1) != 0 {
+		t.Fatalf("m_Tom = %v", tx)
+	}
+}
+
+func TestPartners(t *testing.T) {
+	g, ix := buildToyIndex(t)
+	kate := g.NodeByName("Kate")
+	got := ix.Partners(kate)
+	// Kate co-occurs with Alice (M2) and Jay (M1, M3).
+	want := map[graph.NodeID]bool{g.NodeByName("Alice"): true, g.NodeByName("Jay"): true}
+	if len(got) != len(want) {
+		t.Fatalf("Partners(Kate) = %v", got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("unexpected partner %d", v)
+		}
+	}
+	if ix.NumPairs() == 0 {
+		t.Fatal("NumPairs = 0")
+	}
+}
+
+func TestDot(t *testing.T) {
+	_, ix := buildToyIndex(t)
+	if ix.NumMeta() != 4 {
+		t.Fatalf("NumMeta = %d", ix.NumMeta())
+	}
+	v := SparseVec{{Meta: 0, Count: 2}, {Meta: 3, Count: 5}}
+	w := []float64{0.5, 1, 1, 0.1}
+	if got := v.Dot(w); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Dot = %f", got)
+	}
+	if v.Get(1) != 0 || v.Get(3) != 5 {
+		t.Fatal("Get wrong")
+	}
+}
+
+func TestTransform(t *testing.T) {
+	g, ix := buildToyIndex(t)
+	kate := g.NodeByName("Kate")
+	jay := g.NodeByName("Jay")
+	tr := ix.Transform(func(c float64) float64 { return math.Log1p(c) })
+	if got := tr.PairVec(kate, jay).Get(0); math.Abs(got-math.Log1p(1)) > 1e-12 {
+		t.Fatalf("transformed count = %f", got)
+	}
+	// Original untouched.
+	if got := ix.PairVec(kate, jay).Get(0); got != 1 {
+		t.Fatalf("original mutated: %f", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	g, ix := buildToyIndex(t)
+	kate := g.NodeByName("Kate")
+	jay := g.NodeByName("Jay")
+	alice := g.NodeByName("Alice")
+
+	// Keep only M3 (index 2) and M1 (index 0), renumbered to 0 and 1.
+	p := ix.Project([]int{2, 0})
+	if p.NumMeta() != 2 {
+		t.Fatalf("NumMeta = %d", p.NumMeta())
+	}
+	kj := p.PairVec(kate, jay)
+	if kj.Get(0) != 1 /* was M3 */ || kj.Get(1) != 1 /* was M1 */ {
+		t.Fatalf("projected m_{Kate,Jay} = %v", kj)
+	}
+	// Alice–Kate only shared M2, which is projected away.
+	if v := p.PairVec(alice, kate); v != nil {
+		t.Fatalf("projected m_{Alice,Kate} = %v, want nil", v)
+	}
+	// Partners must reflect the projection: Kate's only partner is Jay now.
+	if got := p.Partners(kate); len(got) != 1 || got[0] != jay {
+		t.Fatalf("projected Partners(Kate) = %v", got)
+	}
+}
+
+func TestAsymmetricMetagraphSkipped(t *testing.T) {
+	g := buildToy(t)
+	asym := metagraph.MustNew([]graph.TypeID{tUser, tSchool, tMajor},
+		[]metagraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	bld := NewBuilder(1)
+	bld.AddMetagraph(0, asym, match.NewQuickSI(g))
+	ix := bld.Build()
+	if ix.NumPairs() != 0 {
+		t.Fatalf("asymmetric metagraph produced %d pairs", ix.NumPairs())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	g := buildToy(t)
+	mgs := toyMetagraphs()
+	matcher := match.NewSymISO(g)
+
+	// Full index built at once.
+	full := NewBuilder(len(mgs))
+	for i, m := range mgs {
+		full.AddMetagraph(i, m, matcher)
+	}
+	want := full.Build()
+
+	// Same thing via per-metagraph parts and Merge.
+	parts := make([]*Index, len(mgs))
+	for i, m := range mgs {
+		b := NewBuilder(1)
+		b.AddMetagraph(0, m, matcher)
+		parts[i] = b.Build()
+	}
+	got := Merge(parts...)
+
+	if got.NumMeta() != want.NumMeta() {
+		t.Fatalf("NumMeta %d != %d", got.NumMeta(), want.NumMeta())
+	}
+	if got.NumPairs() != want.NumPairs() {
+		t.Fatalf("NumPairs %d != %d", got.NumPairs(), want.NumPairs())
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for u := v + 1; int(u) < g.NumNodes(); u++ {
+			for i := 0; i < want.NumMeta(); i++ {
+				if got.PairVec(v, u).Get(i) != want.PairVec(v, u).Get(i) {
+					t.Fatalf("pair (%d,%d) meta %d differs", v, u, i)
+				}
+			}
+		}
+		for i := 0; i < want.NumMeta(); i++ {
+			if got.NodeVec(v).Get(i) != want.NodeVec(v).Get(i) {
+				t.Fatalf("node %d meta %d differs", v, i)
+			}
+		}
+		a, b := got.Partners(v), want.Partners(v)
+		if len(a) != len(b) {
+			t.Fatalf("partners of %d differ: %v vs %v", v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("partners of %d differ: %v vs %v", v, a, b)
+			}
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge()
+	if m.NumMeta() != 0 || m.NumPairs() != 0 {
+		t.Fatal("empty merge not empty")
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	g, ix := buildToyIndex(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, ix); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...) // Read drains the buffer
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.NumMeta() != ix.NumMeta() || got.NumPairs() != ix.NumPairs() {
+		t.Fatal("round trip changed shape")
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for i := 0; i < ix.NumMeta(); i++ {
+			if got.NodeVec(v).Get(i) != ix.NodeVec(v).Get(i) {
+				t.Fatalf("node %d meta %d differs", v, i)
+			}
+		}
+		for u := v + 1; int(u) < g.NumNodes(); u++ {
+			for i := 0; i < ix.NumMeta(); i++ {
+				if got.PairVec(v, u).Get(i) != ix.PairVec(v, u).Get(i) {
+					t.Fatalf("pair (%d,%d) differs", v, u)
+				}
+			}
+		}
+		a, b := got.Partners(v), ix.Partners(v)
+		if len(a) != len(b) {
+			t.Fatalf("partners of %d differ", v)
+		}
+	}
+	// Byte-stable output.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, ix); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf2.Bytes()) {
+		t.Fatal("serialization not deterministic")
+	}
+}
+
+func TestIndexReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("garbage")); err == nil {
+		t.Fatal("Read accepted garbage")
+	}
+}

@@ -1,0 +1,82 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Serialization of the metagraph-vector index. Matching dominates the
+// offline phase (Table III), so persisting its output lets deployments
+// mine+match once and train/query many times.
+
+// serIndex is the gob-friendly mirror of Index.
+type serIndex struct {
+	Version int
+	NumMeta int
+	MxKeys  []graph.NodeID
+	MxVecs  [][]Entry
+	MxyKeys []PairKey
+	MxyVecs [][]Entry
+}
+
+const serVersion = 1
+
+// Write serializes ix.
+func Write(w io.Writer, ix *Index) error {
+	s := serIndex{Version: serVersion, NumMeta: ix.numMeta}
+	// Deterministic key order makes output byte-stable.
+	for k := range ix.mx {
+		s.MxKeys = append(s.MxKeys, k)
+	}
+	sort.Slice(s.MxKeys, func(i, j int) bool { return s.MxKeys[i] < s.MxKeys[j] })
+	for _, k := range s.MxKeys {
+		s.MxVecs = append(s.MxVecs, ix.mx[k])
+	}
+	for k := range ix.mxy {
+		s.MxyKeys = append(s.MxyKeys, k)
+	}
+	sort.Slice(s.MxyKeys, func(i, j int) bool { return s.MxyKeys[i] < s.MxyKeys[j] })
+	for _, k := range s.MxyKeys {
+		s.MxyVecs = append(s.MxyVecs, ix.mxy[k])
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Read deserializes an index written by Write, rebuilding the partner
+// lists.
+func Read(r io.Reader) (*Index, error) {
+	var s serIndex
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	if s.Version != serVersion {
+		return nil, fmt.Errorf("index: unsupported version %d", s.Version)
+	}
+	if len(s.MxKeys) != len(s.MxVecs) || len(s.MxyKeys) != len(s.MxyVecs) {
+		return nil, fmt.Errorf("index: corrupt key/vector tables")
+	}
+	ix := &Index{
+		numMeta:  s.NumMeta,
+		mx:       make(map[graph.NodeID]SparseVec, len(s.MxKeys)),
+		mxy:      make(map[PairKey]SparseVec, len(s.MxyKeys)),
+		partners: make(map[graph.NodeID][]graph.NodeID),
+	}
+	for i, k := range s.MxKeys {
+		ix.mx[k] = s.MxVecs[i]
+	}
+	for i, k := range s.MxyKeys {
+		ix.mxy[k] = s.MxyVecs[i]
+		x, y := k.Nodes()
+		ix.partners[x] = append(ix.partners[x], y)
+		ix.partners[y] = append(ix.partners[y], x)
+	}
+	for k := range ix.partners {
+		p := ix.partners[k]
+		sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
+	}
+	return ix, nil
+}

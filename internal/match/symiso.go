@@ -1,0 +1,398 @@
+package match
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/metagraph"
+)
+
+// SymISO is the paper's symmetry-based matching algorithm (Sect. IV-C,
+// Alg. 2–3). The metagraph is decomposed into symmetric-component groups
+// (internal/metagraph.Decompose); matching proceeds one group at a time.
+// For a group B = {S, S', ...} of mutually symmetric components, the
+// candidate matchings C(S|D) are computed once from the representative S
+// and reused for every sibling: the involutive automorphism behind the
+// group fixes all already-matched nodes, so a sibling's constraints
+// against D coincide with the representative's and are never re-verified.
+// Only the cross-edges between the group's own components are checked when
+// a tuple of distinct matchings is selected.
+type SymISO struct {
+	g     *graph.Graph
+	stats *GraphStats
+	rng   *rand.Rand // non-nil for SymISO-R: random component order
+}
+
+// NewSymISO builds a SymISO engine for g with the estimated-instances
+// component order of Sect. IV-C.
+func NewSymISO(g *graph.Graph) *SymISO {
+	return &SymISO{g: g, stats: NewGraphStats(g)}
+}
+
+// NewSymISOR builds SymISO-R, the ablation with a random matching order
+// (used in Fig. 11 to show the value of the ordering). The random order
+// still prefers connectivity to the matched prefix — a fully arbitrary
+// order can degenerate to full type scans, which no implementation would
+// ship.
+func NewSymISOR(g *graph.Graph, seed int64) *SymISO {
+	return &SymISO{g: g, stats: NewGraphStats(g), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Matcher.
+func (s *SymISO) Name() string {
+	if s.rng != nil {
+		return "SymISO-R"
+	}
+	return "SymISO"
+}
+
+// Match implements Matcher.
+func (s *SymISO) Match(m *metagraph.Metagraph, visit Visitor) {
+	d := metagraph.Decompose(m)
+	groups := d.Groups
+	order := s.groupOrder(m, groups)
+
+	st := &symState{
+		s:      s,
+		m:      m,
+		groups: groups,
+		order:  order,
+		assign: make([]graph.NodeID, m.N()),
+		used:   make([]bool, s.g.NumNodes()),
+		visit:  visit,
+	}
+	for i := range st.assign {
+		st.assign[i] = graph.InvalidNode
+	}
+
+	// Precompute, per group and member, the member's neighbors *within the
+	// group*: those are the only edges a sibling tuple pick must verify
+	// (edges to D are guaranteed by the group's automorphism; internal
+	// member edges by the representative's matching).
+	st.groupNbrs = make([][][][]int, len(groups))
+	for gi := range groups {
+		g := &groups[gi]
+		inGroup := make(map[int]bool)
+		for _, c := range g.Members {
+			for _, v := range c.Nodes {
+				inGroup[v] = true
+			}
+		}
+		st.groupNbrs[gi] = make([][][]int, len(g.Members))
+		for k := range g.Members {
+			nodes := g.Maps[k]
+			nbrs := make([][]int, len(nodes))
+			for i, u := range nodes {
+				for _, w := range m.Neighbors(u) {
+					if inGroup[w] {
+						nbrs[i] = append(nbrs[i], w)
+					}
+				}
+			}
+			st.groupNbrs[gi][k] = nbrs
+		}
+	}
+	st.matchGroup(0)
+}
+
+// groupOrder orders groups by the first appearance of any of their nodes
+// in the node-level estimate order ("when a node of a component S is
+// chosen, we select S as the next component"), or randomly (but
+// connectivity-respecting) for SymISO-R.
+func (s *SymISO) groupOrder(m *metagraph.Metagraph, groups []metagraph.Group) []int {
+	idx := make([]int, len(groups))
+	for i := range idx {
+		idx[i] = i
+	}
+	if s.rng != nil {
+		s.rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		return connectGroups(m, groups, idx)
+	}
+	nodeOrder := EstimateOrder(s.stats, m)
+	pos := make([]int, m.N())
+	for p, v := range nodeOrder {
+		pos[v] = p
+	}
+	first := make([]int, len(groups))
+	for i, g := range groups {
+		f := m.N()
+		for _, c := range g.Members {
+			for _, v := range c.Nodes {
+				if pos[v] < f {
+					f = pos[v]
+				}
+			}
+		}
+		first[i] = f
+	}
+	for a := 1; a < len(idx); a++ {
+		for b := a; b > 0 && first[idx[b]] < first[idx[b-1]]; b-- {
+			idx[b], idx[b-1] = idx[b-1], idx[b]
+		}
+	}
+	return idx
+}
+
+// connectGroups reorders idx so that every group after the first touches
+// an earlier group through some metagraph edge when possible, keeping the
+// incoming (random) order otherwise.
+func connectGroups(m *metagraph.Metagraph, groups []metagraph.Group, idx []int) []int {
+	nodesOf := func(gi int) []int {
+		var out []int
+		for _, c := range groups[gi].Members {
+			out = append(out, c.Nodes...)
+		}
+		return out
+	}
+	touches := func(gi int, placedMask uint16) bool {
+		for _, u := range nodesOf(gi) {
+			for _, w := range m.Neighbors(u) {
+				if placedMask&(1<<uint(w)) != 0 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	out := make([]int, 0, len(idx))
+	remaining := append([]int(nil), idx...)
+	var placed uint16
+	for len(remaining) > 0 {
+		pick := -1
+		if len(out) > 0 {
+			for i, gi := range remaining {
+				if touches(gi, placed) {
+					pick = i
+					break
+				}
+			}
+		}
+		if pick == -1 {
+			pick = 0
+		}
+		gi := remaining[pick]
+		out = append(out, gi)
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		for _, u := range nodesOf(gi) {
+			placed |= 1 << uint(u)
+		}
+	}
+	return out
+}
+
+// symState carries the recursion state of MatchingByComponent (Alg. 3).
+type symState struct {
+	s      *SymISO
+	m      *metagraph.Metagraph
+	groups []metagraph.Group
+	order  []int
+
+	// groupNbrs[gi][member][i] lists the group-internal metagraph
+	// neighbors of member node i.
+	groupNbrs [][][][]int
+
+	assign  []graph.NodeID
+	used    []bool
+	visit   Visitor
+	stopped bool
+}
+
+func (st *symState) matchGroup(k int) {
+	if st.stopped {
+		return
+	}
+	if k == len(st.order) {
+		if !st.visit(st.assign) {
+			st.stopped = true
+		}
+		return
+	}
+	gi := st.order[k]
+	g := &st.groups[gi]
+	rep := g.Representative()
+
+	// Fast path: a singleton group with a single node behaves exactly like
+	// one step of plain backtracking — no materialization needed.
+	if len(g.Members) == 1 && len(rep.Nodes) == 1 {
+		u := rep.Nodes[0]
+		for _, v := range st.candidatesFor(u) {
+			if st.used[v] || !st.consistent(u, v) {
+				continue
+			}
+			st.assign[u] = v
+			st.used[v] = true
+			st.matchGroup(k + 1)
+			st.used[v] = false
+			st.assign[u] = graph.InvalidNode
+			if st.stopped {
+				return
+			}
+		}
+		return
+	}
+
+	// C(S|D): candidate matchings of the representative component, each
+	// aligned with rep.Nodes. Computed once for the whole group.
+	cands := st.componentMatchings(rep.Nodes)
+	if len(cands) == 0 {
+		return
+	}
+
+	if len(g.Members) == 1 {
+		for _, c := range cands {
+			st.apply(rep.Nodes, c)
+			st.matchGroup(k + 1)
+			st.unapply(rep.Nodes, c)
+			if st.stopped {
+				return
+			}
+		}
+		return
+	}
+
+	// Choose an ordered tuple of node-disjoint matchings, one per member,
+	// reusing cands for all of them. Constraints against D hold for free
+	// (the group's automorphisms fix D); only the group-internal cross
+	// edges are verified as each member is placed.
+	var tuple func(j int)
+	tuple = func(j int) {
+		if st.stopped {
+			return
+		}
+		if j == len(g.Members) {
+			st.matchGroup(k + 1)
+			return
+		}
+		nodes := g.Maps[j]
+		nbrs := st.groupNbrs[gi][j]
+		for _, c := range cands {
+			if !st.free(c) {
+				continue
+			}
+			if j > 0 && !st.groupCrossConsistent(nodes, nbrs, c) {
+				continue
+			}
+			st.apply(nodes, c)
+			tuple(j + 1)
+			st.unapply(nodes, c)
+			if st.stopped {
+				return
+			}
+		}
+	}
+	tuple(0)
+}
+
+// candidatesFor returns the candidate list for a single metagraph node:
+// the typed adjacency of the cheapest assigned neighbor, or the full type
+// list if none is assigned yet.
+func (st *symState) candidatesFor(u int) []graph.NodeID {
+	pivot := graph.InvalidNode
+	bestDeg := 0
+	for _, w := range st.m.Neighbors(u) {
+		a := st.assign[w]
+		if a == graph.InvalidNode {
+			continue
+		}
+		d := st.s.g.DegreeOfType(a, st.m.Type(u))
+		if pivot == graph.InvalidNode || d < bestDeg {
+			pivot, bestDeg = a, d
+		}
+	}
+	if pivot != graph.InvalidNode {
+		return st.s.g.NeighborsOfType(pivot, st.m.Type(u))
+	}
+	return st.s.g.NodesOfType(st.m.Type(u))
+}
+
+// consistent checks every assigned metagraph neighbor of u against v.
+func (st *symState) consistent(u int, v graph.NodeID) bool {
+	for _, w := range st.m.Neighbors(u) {
+		if a := st.assign[w]; a != graph.InvalidNode && !st.s.g.HasEdge(v, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// componentMatchings computes all assignments of the given metagraph
+// nodes consistent with the current partial assignment: type-preserving,
+// injective against used nodes, and preserving every metagraph edge whose
+// other endpoint is already assigned or earlier in the component.
+func (st *symState) componentMatchings(nodes []int) [][]graph.NodeID {
+	order := connectedOrder(st.m, nodes)
+	posInNodes := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		posInNodes[v] = i
+	}
+
+	var out [][]graph.NodeID
+	// Flat backing array: one allocation amortized over all matchings.
+	var backing []graph.NodeID
+	cur := make([]graph.NodeID, len(nodes))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(order) {
+			start := len(backing)
+			backing = append(backing, cur...)
+			out = append(out, backing[start:len(backing):len(backing)])
+			return
+		}
+		u := order[i]
+		for _, v := range st.candidatesFor(u) {
+			if st.used[v] || !st.consistent(u, v) {
+				continue
+			}
+			st.assign[u] = v
+			st.used[v] = true
+			cur[posInNodes[u]] = v
+			rec(i + 1)
+			st.used[v] = false
+			st.assign[u] = graph.InvalidNode
+		}
+	}
+	rec(0)
+	return out
+}
+
+// free reports whether none of the matching's graph nodes is already used.
+func (st *symState) free(c []graph.NodeID) bool {
+	for _, v := range c {
+		if st.used[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// groupCrossConsistent verifies only the group-internal metagraph edges of
+// a sibling member against what is assigned so far. Edges to D need no
+// check (symmetry), nor do edges within the member (automorphism image of
+// the representative's internal edges, verified in componentMatchings).
+func (st *symState) groupCrossConsistent(nodes []int, nbrs [][]int, c []graph.NodeID) bool {
+	for i := range nodes {
+		v := c[i]
+		for _, w := range nbrs[i] {
+			if a := st.assign[w]; a != graph.InvalidNode && !st.s.g.HasEdge(v, a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// apply installs a matching of the given metagraph nodes.
+func (st *symState) apply(nodes []int, c []graph.NodeID) {
+	for i, u := range nodes {
+		st.assign[u] = c[i]
+		st.used[c[i]] = true
+	}
+}
+
+// unapply reverts apply.
+func (st *symState) unapply(nodes []int, c []graph.NodeID) {
+	for i, u := range nodes {
+		st.assign[u] = graph.InvalidNode
+		st.used[c[i]] = false
+	}
+}

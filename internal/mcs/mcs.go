@@ -1,0 +1,95 @@
+// Package mcs computes the maximum common subgraph of two metagraphs and
+// the structural similarity SS built on it (Sect. III-C of the paper):
+//
+//	SS(Mi, Mj) = (|V_M| + |E_M|)² / ((|V_Mi| + |E_Mi|) · (|V_Mj| + |E_Mj|))
+//
+// where M is the MCS of Mi and Mj. Dual-stage training uses SS to infer a
+// metagraph's "function" from its structure without matching it.
+//
+// Metagraphs have at most 16 nodes (5 in the paper), so the MCS search is
+// an exact branch-and-bound over type-preserving partial mappings.
+package mcs
+
+import (
+	"repro/internal/metagraph"
+)
+
+// Size is the size of a maximum common subgraph: the number of shared
+// nodes plus the number of shared edges under the best mapping.
+type Size struct {
+	Nodes int
+	Edges int
+}
+
+// Total returns |V_M| + |E_M|.
+func (s Size) Total() int { return s.Nodes + s.Edges }
+
+// MCS returns the size of the maximum common subgraph of a and b: the
+// type-preserving partial injective mapping from a's nodes to b's nodes
+// maximizing mapped nodes + edges present in both patterns under the
+// mapping. (Isolated compatible nodes always help, so the node count is
+// maximal; edges break ties among mappings.)
+func MCS(a, b *metagraph.Metagraph) Size {
+	na := a.N()
+	mapTo := make([]int, na) // image in b, or -1 = excluded
+	usedB := make([]bool, b.N())
+	var best Size
+
+	score := func() Size {
+		var s Size
+		for i := 0; i < na; i++ {
+			if mapTo[i] >= 0 {
+				s.Nodes++
+			}
+		}
+		for _, e := range a.Edges() {
+			bu, bv := mapTo[e.U], mapTo[e.V]
+			if bu >= 0 && bv >= 0 && b.HasEdge(bu, bv) {
+				s.Edges++
+			}
+		}
+		return s
+	}
+
+	maxEdges := a.NumEdges()
+	if be := b.NumEdges(); be < maxEdges {
+		maxEdges = be
+	}
+	var rec func(i, mapped int)
+	rec = func(i, mapped int) {
+		if i == na {
+			if s := score(); s.Total() > best.Total() {
+				best = s
+			}
+			return
+		}
+		// Bound: even mapping every remaining node and sharing every edge
+		// cannot beat the best already found.
+		if mapped+(na-i)+maxEdges <= best.Total() {
+			return
+		}
+		for j := 0; j < b.N(); j++ {
+			if usedB[j] || b.Type(j) != a.Type(i) {
+				continue
+			}
+			mapTo[i] = j
+			usedB[j] = true
+			rec(i+1, mapped+1)
+			usedB[j] = false
+		}
+		mapTo[i] = -1
+		rec(i+1, mapped)
+	}
+	for i := range mapTo {
+		mapTo[i] = -1
+	}
+	rec(0, 0)
+	return best
+}
+
+// StructuralSimilarity returns SS(a, b) ∈ [0, 1].
+func StructuralSimilarity(a, b *metagraph.Metagraph) float64 {
+	m := MCS(a, b)
+	num := float64(m.Total())
+	return num * num / (float64(a.Size()) * float64(b.Size()))
+}

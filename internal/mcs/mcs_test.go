@@ -1,0 +1,126 @@
+package mcs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/metagraph"
+)
+
+const (
+	tUser graph.TypeID = iota
+	tSchool
+	tMajor
+	tEmployer
+	tHobby
+)
+
+func mgUSU() *metagraph.Metagraph {
+	return metagraph.MustNew([]graph.TypeID{tUser, tSchool, tUser},
+		[]metagraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+}
+
+func mgM1() *metagraph.Metagraph {
+	return metagraph.MustNew([]graph.TypeID{tUser, tUser, tSchool, tMajor},
+		[]metagraph.Edge{{U: 0, V: 2}, {U: 1, V: 2}, {U: 0, V: 3}, {U: 1, V: 3}})
+}
+
+func mgM2() *metagraph.Metagraph {
+	return metagraph.MustNew([]graph.TypeID{tUser, tUser, tEmployer, tHobby},
+		[]metagraph.Edge{{U: 0, V: 2}, {U: 1, V: 2}, {U: 0, V: 3}, {U: 1, V: 3}})
+}
+
+func TestMCSIdentical(t *testing.T) {
+	m := mgM1()
+	s := MCS(m, m)
+	if s.Nodes != m.N() || s.Edges != m.NumEdges() {
+		t.Fatalf("MCS(m,m) = %+v, want full graph", s)
+	}
+	if got := StructuralSimilarity(m, m); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SS(m,m) = %f, want 1", got)
+	}
+}
+
+func TestMCSPathInsideM1(t *testing.T) {
+	// user–school–user is fully contained in M1.
+	p := mgUSU()
+	s := MCS(p, mgM1())
+	if s.Nodes != 3 || s.Edges != 2 {
+		t.Fatalf("MCS(path, M1) = %+v, want 3 nodes / 2 edges", s)
+	}
+	want := float64(5*5) / float64(5*8)
+	if got := StructuralSimilarity(p, mgM1()); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SS = %f, want %f", got, want)
+	}
+}
+
+func TestMCSDisjointTypes(t *testing.T) {
+	// M1 (school+major) vs M2 (employer+hobby): only the two users are
+	// shared, no edges survive.
+	s := MCS(mgM1(), mgM2())
+	if s.Nodes != 2 || s.Edges != 0 {
+		t.Fatalf("MCS(M1, M2) = %+v, want 2 nodes / 0 edges", s)
+	}
+}
+
+func TestMCSEdgeChoiceBeatsGreedyNodes(t *testing.T) {
+	// a: user–school plus isolated-ish structure; force a mapping choice
+	// between two school nodes where only one preserves the edge.
+	a := metagraph.MustNew([]graph.TypeID{tUser, tSchool},
+		[]metagraph.Edge{{U: 0, V: 1}})
+	b := metagraph.MustNew([]graph.TypeID{tUser, tSchool, tSchool},
+		[]metagraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	s := MCS(a, b)
+	if s.Nodes != 2 || s.Edges != 1 {
+		t.Fatalf("MCS = %+v, want 2/1", s)
+	}
+}
+
+func TestSSSymmetricAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomConnected(rng)
+		b := randomConnected(rng)
+		ab := StructuralSimilarity(a, b)
+		ba := StructuralSimilarity(b, a)
+		if math.Abs(ab-ba) > 1e-12 {
+			return false
+		}
+		return ab >= 0 && ab <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCSNeverExceedsEither(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomConnected(rng)
+		b := randomConnected(rng)
+		s := MCS(a, b)
+		return s.Nodes <= min(a.N(), b.N()) && s.Edges <= min(a.NumEdges(), b.NumEdges())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomConnected(rng *rand.Rand) *metagraph.Metagraph {
+	n := 2 + rng.Intn(4)
+	types := make([]graph.TypeID, n)
+	for i := range types {
+		types[i] = graph.TypeID(rng.Intn(3))
+	}
+	var edges []metagraph.Edge
+	for i := 1; i < n; i++ {
+		edges = append(edges, metagraph.Edge{U: rng.Intn(i), V: i})
+	}
+	if rng.Intn(2) == 0 && n > 2 {
+		edges = append(edges, metagraph.Edge{U: 0, V: n - 1})
+	}
+	return metagraph.MustNew(types, edges)
+}

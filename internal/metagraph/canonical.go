@@ -1,0 +1,126 @@
+package metagraph
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Canonical returns a key that is identical for exactly the metagraphs that
+// are isomorphic under a type-preserving bijection (Def. 2 applied between
+// two metagraphs). The miner uses it to deduplicate grown patterns.
+//
+// The key is computed by sorting nodes by type and then minimizing the
+// adjacency encoding over all permutations within equal-type groups. With
+// ≤5-node patterns (≤16 supported) exhaustive permutation is cheap, and
+// restricting to within-group permutations keeps the search tiny.
+func (m *Metagraph) Canonical() string {
+	n := m.N()
+
+	// Order nodes by type; group boundaries confine the permutations.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return m.types[order[a]] < m.types[order[b]] })
+
+	// groups[i] = slice of original node ids sharing a type, in type order.
+	var groups [][]int
+	for i := 0; i < n; {
+		j := i
+		for j < n && m.types[order[j]] == m.types[order[i]] {
+			j++
+		}
+		groups = append(groups, order[i:j])
+		i = j
+	}
+
+	sortedTypes := make([]graph.TypeID, n)
+	for i, v := range order {
+		sortedTypes[i] = m.types[v]
+	}
+
+	best := make([]byte, 0, n+n*n/8+8)
+	first := true
+
+	// pos[orig] = position of original node in the candidate labeling.
+	pos := make([]int, n)
+	var rec func(gi, base int)
+	encode := func() []byte {
+		buf := make([]byte, 0, n+1+(n*(n-1))/2)
+		buf = append(buf, byte(n))
+		for _, t := range sortedTypes {
+			buf = append(buf, byte(t))
+		}
+		// Upper-triangle adjacency bits in labeled order.
+		var cur byte
+		bits := 0
+		inv := make([]int, n) // inv[pos] = original node
+		for orig, p := range pos {
+			inv[p] = orig
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				cur <<= 1
+				if m.HasEdge(inv[i], inv[j]) {
+					cur |= 1
+				}
+				bits++
+				if bits == 8 {
+					buf = append(buf, cur)
+					cur, bits = 0, 0
+				}
+			}
+		}
+		if bits > 0 {
+			buf = append(buf, cur<<(8-uint(bits)))
+		}
+		return buf
+	}
+	rec = func(gi, base int) {
+		if gi == len(groups) {
+			cand := encode()
+			if first || string(cand) < string(best) {
+				best = cand
+				first = false
+			}
+			return
+		}
+		g := groups[gi]
+		permute(g, func(p []int) {
+			for i, orig := range p {
+				pos[orig] = base + i
+			}
+			rec(gi+1, base+len(g))
+		})
+	}
+	rec(0, 0)
+	return string(best)
+}
+
+// permute calls fn with every permutation of s. fn must not retain the
+// slice. s is restored to its original order afterwards.
+func permute(s []int, fn func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(s) {
+			fn(s)
+			return
+		}
+		for i := k; i < len(s); i++ {
+			s[k], s[i] = s[i], s[k]
+			rec(k + 1)
+			s[k], s[i] = s[i], s[k]
+		}
+	}
+	rec(0)
+}
+
+// Isomorphic reports whether m and o are isomorphic under a type-preserving
+// bijection.
+func Isomorphic(m, o *Metagraph) bool {
+	if m.N() != o.N() || m.NumEdges() != o.NumEdges() {
+		return false
+	}
+	return m.Canonical() == o.Canonical()
+}

@@ -1,0 +1,209 @@
+// Package mining enumerates the metagraph set M of a typed object graph
+// (subproblem 1 of the paper's offline phase, Sect. II-B). The paper uses
+// GRAMI (Elseidy et al., PVLDB'14) off the shelf; this package is a
+// from-scratch substitute that keeps GRAMI's defining traits: single-graph
+// frequent pattern mining under the MNI (minimum node image) support
+// measure, which is the canonical anti-monotone support for a single large
+// graph, with pattern growth and canonical-form deduplication.
+//
+// Patterns grow from single-edge seeds by attaching a new typed node to an
+// existing node or closing an edge between two existing nodes; both moves
+// preserve connectivity, and every connected pattern is reachable this way.
+// MNI anti-monotonicity prunes infrequent branches exactly as in GRAMI.
+package mining
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/metagraph"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// MaxNodes caps |V_M|; the paper uses 5 (Sect. V-A).
+	MaxNodes int
+	// MinSupport is the MNI support threshold for a pattern to be frequent.
+	MinSupport int
+	// MaxPatterns stops mining after this many frequent patterns have been
+	// collected (0 = unlimited); a safety valve for dense graphs.
+	MaxPatterns int
+}
+
+// DefaultOptions mirrors the paper's setup: metagraphs of at most 5 nodes.
+func DefaultOptions() Options {
+	return Options{MaxNodes: 5, MinSupport: 2}
+}
+
+// Pattern is one mined metagraph with its MNI support (a lower bound equal
+// to at least MinSupport; computation stops early once the threshold is
+// established, as only the threshold matters for mining).
+type Pattern struct {
+	M       *metagraph.Metagraph
+	Support int
+}
+
+// Mine enumerates the frequent metagraphs of g under opts, in canonical-key
+// order (deterministic across runs).
+func Mine(g *graph.Graph, opts Options) []Pattern {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 5
+	}
+	if opts.MinSupport <= 0 {
+		opts.MinSupport = 1
+	}
+	matcher := match.NewSymISO(g)
+	stats := match.NewGraphStats(g)
+
+	seen := make(map[string]bool)
+	var frequent []Pattern
+
+	// Seeds: one 2-node pattern per type pair with at least one edge.
+	var queue []*metagraph.Metagraph
+	nt := g.NumTypes()
+	for t1 := 0; t1 < nt; t1++ {
+		for t2 := t1; t2 < nt; t2++ {
+			if stats.EdgeCount(graph.TypeID(t1), graph.TypeID(t2)) == 0 {
+				continue
+			}
+			m := metagraph.MustNew(
+				[]graph.TypeID{graph.TypeID(t1), graph.TypeID(t2)},
+				[]metagraph.Edge{{U: 0, V: 1}})
+			key := m.Canonical()
+			if !seen[key] {
+				seen[key] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+
+		sup := mniSupport(g, matcher, m, opts.MinSupport)
+		if sup < opts.MinSupport {
+			continue // anti-monotone prune: no extension can be frequent
+		}
+		frequent = append(frequent, Pattern{M: m, Support: sup})
+		if opts.MaxPatterns > 0 && len(frequent) >= opts.MaxPatterns {
+			break
+		}
+
+		// Extensions: add a typed node, or close an edge.
+		if m.N() < opts.MaxNodes {
+			for u := 0; u < m.N(); u++ {
+				for t := 0; t < nt; t++ {
+					if stats.EdgeCount(m.Type(u), graph.TypeID(t)) == 0 {
+						continue
+					}
+					ext, err := m.ExtendNode(u, graph.TypeID(t))
+					if err != nil {
+						continue
+					}
+					if key := ext.Canonical(); !seen[key] {
+						seen[key] = true
+						queue = append(queue, ext)
+					}
+				}
+			}
+		}
+		for u := 0; u < m.N(); u++ {
+			for v := u + 1; v < m.N(); v++ {
+				if m.HasEdge(u, v) || stats.EdgeCount(m.Type(u), m.Type(v)) == 0 {
+					continue
+				}
+				ext, err := m.ExtendEdge(u, v)
+				if err != nil {
+					continue
+				}
+				if key := ext.Canonical(); !seen[key] {
+					seen[key] = true
+					queue = append(queue, ext)
+				}
+			}
+		}
+	}
+
+	sort.Slice(frequent, func(i, j int) bool {
+		ci, cj := frequent[i].M.Canonical(), frequent[j].M.Canonical()
+		if len(ci) != len(cj) {
+			return len(ci) < len(cj) // smaller patterns first
+		}
+		return ci < cj
+	})
+	return frequent
+}
+
+// mniSupport computes the MNI support of m on g: the minimum, over pattern
+// nodes u, of the number of distinct graph nodes that appear as the image
+// of u across all assignments. Enumeration stops as soon as every pattern
+// node has at least `enough` distinct images, so the returned value is
+// min(MNI, enough) — exact whenever it is below the threshold.
+func mniSupport(g *graph.Graph, matcher match.Matcher, m *metagraph.Metagraph, enough int) int {
+	images := make([]map[graph.NodeID]bool, m.N())
+	for i := range images {
+		images[i] = make(map[graph.NodeID]bool, enough)
+	}
+	matcher.Match(m, func(a []graph.NodeID) bool {
+		done := true
+		for i, v := range a {
+			images[i][v] = true
+			if len(images[i]) < enough {
+				done = false
+			}
+		}
+		return !done
+	})
+	mni := -1
+	for _, s := range images {
+		if mni == -1 || len(s) < mni {
+			mni = len(s)
+		}
+	}
+	if mni < 0 {
+		return 0
+	}
+	return mni
+}
+
+// ProximityFilter selects the mined metagraphs usable for semantic
+// proximity between nodes of the anchor type (Sect. V-A): symmetric
+// (Def. 1), at least two anchor-typed nodes forming at least one symmetric
+// anchor pair, and at least one node of another type.
+func ProximityFilter(patterns []Pattern, anchor graph.TypeID) []Pattern {
+	var out []Pattern
+	for _, p := range patterns {
+		m := p.M
+		if m.CountType(anchor) < 2 || m.CountType(anchor) == m.N() {
+			continue
+		}
+		if len(m.AnchorPairs(anchor)) == 0 {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Metagraphs extracts just the metagraphs of a pattern list.
+func Metagraphs(patterns []Pattern) []*metagraph.Metagraph {
+	out := make([]*metagraph.Metagraph, len(patterns))
+	for i, p := range patterns {
+		out[i] = p.M
+	}
+	return out
+}
+
+// CountPaths returns how many of the patterns are metapaths; the paper
+// reports metapaths to be 2–3% of all metagraphs (Sect. III-C).
+func CountPaths(patterns []Pattern) int {
+	n := 0
+	for _, p := range patterns {
+		if p.M.IsPath() {
+			n++
+		}
+	}
+	return n
+}

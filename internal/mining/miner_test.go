@@ -1,0 +1,202 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/metagraph"
+)
+
+// buildAttributeGraph plants a small attribute graph: users attached to
+// shared schools and hobbies, so that user–school–user and
+// user–hobby–user patterns (and their joins) are frequent.
+func buildAttributeGraph(t testing.TB, users, schools, hobbies int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	b.Types().Register("user")
+	b.Types().Register("school")
+	b.Types().Register("hobby")
+	us := make([]graph.NodeID, users)
+	for i := range us {
+		us[i] = b.AddNode("user", fmt.Sprintf("u%d", i))
+	}
+	ss := make([]graph.NodeID, schools)
+	for i := range ss {
+		ss[i] = b.AddNode("school", fmt.Sprintf("s%d", i))
+	}
+	hs := make([]graph.NodeID, hobbies)
+	for i := range hs {
+		hs[i] = b.AddNode("hobby", fmt.Sprintf("h%d", i))
+	}
+	for _, u := range us {
+		b.AddEdge(u, ss[rng.Intn(schools)])
+		b.AddEdge(u, hs[rng.Intn(hobbies)])
+		if rng.Intn(2) == 0 {
+			b.AddEdge(u, hs[rng.Intn(hobbies)])
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestMineFindsMetapath(t *testing.T) {
+	g := buildAttributeGraph(t, 30, 3, 3, 1)
+	pats := Mine(g, Options{MaxNodes: 3, MinSupport: 2})
+	if len(pats) == 0 {
+		t.Fatal("no patterns mined")
+	}
+	// user–school–user must be among them.
+	tUser := g.Types().ID("user")
+	tSchool := g.Types().ID("school")
+	want := metagraph.MustNew([]graph.TypeID{tUser, tSchool, tUser},
+		[]metagraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	found := false
+	for _, p := range pats {
+		if metagraph.Isomorphic(p.M, want) {
+			found = true
+			if p.Support < 2 {
+				t.Fatalf("support %d < threshold", p.Support)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("user–school–user not mined")
+	}
+}
+
+func TestMineDeduplicates(t *testing.T) {
+	g := buildAttributeGraph(t, 20, 2, 2, 2)
+	pats := Mine(g, Options{MaxNodes: 4, MinSupport: 2})
+	seen := make(map[string]bool)
+	for _, p := range pats {
+		key := p.M.Canonical()
+		if seen[key] {
+			t.Fatalf("duplicate pattern %v", p.M)
+		}
+		seen[key] = true
+	}
+}
+
+func TestMineRespectsMaxNodes(t *testing.T) {
+	g := buildAttributeGraph(t, 20, 2, 2, 3)
+	for _, maxN := range []int{2, 3, 4} {
+		for _, p := range Mine(g, Options{MaxNodes: maxN, MinSupport: 2}) {
+			if p.M.N() > maxN {
+				t.Fatalf("pattern %v exceeds MaxNodes=%d", p.M, maxN)
+			}
+		}
+	}
+}
+
+func TestMineSupportThreshold(t *testing.T) {
+	g := buildAttributeGraph(t, 30, 3, 3, 4)
+	lo := Mine(g, Options{MaxNodes: 3, MinSupport: 2})
+	hi := Mine(g, Options{MaxNodes: 3, MinSupport: 15})
+	if len(hi) > len(lo) {
+		t.Fatalf("higher threshold mined more patterns (%d > %d)", len(hi), len(lo))
+	}
+	for _, p := range hi {
+		if p.Support < 15 {
+			t.Fatalf("pattern %v has support %d < 15", p.M, p.Support)
+		}
+	}
+}
+
+func TestMineAntiMonotonicity(t *testing.T) {
+	// Every frequent pattern's MNI support must be >= threshold by direct
+	// recomputation with a different engine.
+	g := buildAttributeGraph(t, 25, 3, 2, 5)
+	const threshold = 3
+	matcher := match.NewQuickSI(g)
+	for _, p := range Mine(g, Options{MaxNodes: 4, MinSupport: threshold}) {
+		if got := mniSupport(g, matcher, p.M, threshold); got < threshold {
+			t.Fatalf("pattern %v reported frequent but MNI=%d", p.M, got)
+		}
+	}
+}
+
+func TestMineMaxPatterns(t *testing.T) {
+	g := buildAttributeGraph(t, 30, 3, 3, 6)
+	pats := Mine(g, Options{MaxNodes: 4, MinSupport: 2, MaxPatterns: 5})
+	if len(pats) != 5 {
+		t.Fatalf("MaxPatterns ignored: %d", len(pats))
+	}
+}
+
+func TestProximityFilter(t *testing.T) {
+	g := buildAttributeGraph(t, 30, 3, 3, 7)
+	tUser := g.Types().ID("user")
+	pats := Mine(g, Options{MaxNodes: 4, MinSupport: 2})
+	filtered := ProximityFilter(pats, tUser)
+	if len(filtered) == 0 {
+		t.Fatal("filter removed everything")
+	}
+	if len(filtered) >= len(pats) {
+		t.Fatalf("filter removed nothing (%d of %d)", len(filtered), len(pats))
+	}
+	for _, p := range filtered {
+		if p.M.CountType(tUser) < 2 {
+			t.Fatalf("pattern %v lacks two users", p.M)
+		}
+		if p.M.CountType(tUser) == p.M.N() {
+			t.Fatalf("pattern %v has no attribute node", p.M)
+		}
+		if len(p.M.AnchorPairs(tUser)) == 0 {
+			t.Fatalf("pattern %v lacks a symmetric user pair", p.M)
+		}
+	}
+}
+
+func TestCountPathsAndMetagraphs(t *testing.T) {
+	g := buildAttributeGraph(t, 30, 3, 3, 8)
+	pats := Mine(g, Options{MaxNodes: 4, MinSupport: 2})
+	if n := CountPaths(pats); n == 0 || n > len(pats) {
+		t.Fatalf("CountPaths = %d of %d", n, len(pats))
+	}
+	ms := Metagraphs(pats)
+	if len(ms) != len(pats) {
+		t.Fatal("Metagraphs length mismatch")
+	}
+}
+
+func TestMniSupportExactOnToy(t *testing.T) {
+	// Two users share one school: user–school–user has MNI 2 (users) and 1
+	// (school) -> support 1.
+	b := graph.NewBuilder()
+	u1 := b.AddNode("user", "u1")
+	u2 := b.AddNode("user", "u2")
+	s := b.AddNode("school", "s")
+	b.AddEdge(u1, s)
+	b.AddEdge(u2, s)
+	g := b.MustBuild()
+	m := metagraph.MustNew(
+		[]graph.TypeID{g.Types().ID("user"), g.Types().ID("school"), g.Types().ID("user")},
+		[]metagraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if got := mniSupport(g, match.NewQuickSI(g), m, 10); got != 1 {
+		t.Fatalf("MNI = %d, want 1", got)
+	}
+	// A pattern with no matches at all.
+	m2 := metagraph.MustNew(
+		[]graph.TypeID{g.Types().ID("school"), g.Types().ID("school")},
+		[]metagraph.Edge{{U: 0, V: 1}})
+	if got := mniSupport(g, match.NewQuickSI(g), m2, 10); got != 0 {
+		t.Fatalf("MNI = %d, want 0", got)
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	g := buildAttributeGraph(t, 25, 3, 3, 9)
+	a := Mine(g, Options{MaxNodes: 4, MinSupport: 2})
+	b := Mine(g, Options{MaxNodes: 4, MinSupport: 2})
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].M.Canonical() != b[i].M.Canonical() {
+			t.Fatalf("non-deterministic order at %d", i)
+		}
+	}
+}

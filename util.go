@@ -1,0 +1,6 @@
+package semprox
+
+import "math"
+
+// log1p is the count transform used when Options.LogTransform is set.
+func log1p(c float64) float64 { return math.Log1p(c) }
