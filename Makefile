@@ -1,0 +1,27 @@
+# Tier-1 verification plus the invariants this repo adds on top:
+#   make ci  — vet, build, race-enabled tests, and an offline-bench smoke
+#              run that cross-checks parallel vs serial index builds.
+GO ?= go
+
+.PHONY: ci vet build test bench-smoke bench
+
+ci: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Quick end-to-end offline build: verifies byte-identical indices across
+# worker counts and prints timings without touching BENCH_offline.json.
+bench-smoke:
+	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out -
+
+# Full offline benchmark; rewrites BENCH_offline.json (commit it to extend
+# the perf trajectory).
+bench:
+	$(GO) run ./cmd/bench

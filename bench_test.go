@@ -1,6 +1,8 @@
 package semprox
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -189,6 +191,36 @@ func BenchmarkMatchQuickSI(b *testing.B) {
 	benchMatcher(b, func(g *Graph) match.Matcher { return match.NewQuickSI(g) })
 }
 
+// BenchmarkOfflineIndexBuild measures the offline matching+indexing phase
+// (the dominant cost of Table III) across worker counts. On multicore
+// hardware the build scales near-linearly: matching fans out one metagraph
+// per worker and the parts merge by offset. cmd/bench wraps the same
+// measurement into BENCH_offline.json for the perf trajectory.
+func BenchmarkOfflineIndexBuild(b *testing.B) {
+	ds := benchDataset()
+	pats := mining.ProximityFilter(
+		mining.Mine(ds.G, mining.Options{MaxNodes: 4, MinSupport: 5}), ds.Anchor)
+	ms := mining.Metagraphs(pats)
+	if len(ms) == 0 {
+		b.Fatal("no metagraphs")
+	}
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix := index.BuildParallel(ms,
+					func() match.Matcher { return match.NewSymISO(ds.G) }, workers)
+				if ix.NumPairs() == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		})
+	}
+}
+
 // ---- micro-benchmarks: online phase and learning ----
 
 func benchIndex(b *testing.B) (*Graph, *index.Index) {
@@ -215,6 +247,45 @@ func BenchmarkOnlineQuery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		core.Rank(ix, w, users[i%len(users)])
 	}
+}
+
+// BenchmarkSparseVecDot measures the innermost online-phase loop: one
+// sparse·dense dot product. Must report 0 allocs/op (also asserted by
+// TestZeroAllocReads in internal/index).
+func BenchmarkSparseVecDot(b *testing.B) {
+	g, ix := benchIndex(b)
+	w := core.UniformWeights(ix.NumMeta())
+	users := g.NodesOfType(g.Types().ID("user"))
+	var v index.SparseVec
+	for _, u := range users {
+		if nv := ix.NodeVec(u); len(nv) > len(v) {
+			v = nv
+		}
+	}
+	if len(v) == 0 {
+		b.Fatal("no node vectors")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += v.Dot(w)
+	}
+	_ = s
+}
+
+// BenchmarkIndexNodeVec measures one keyed read out of the CSR index.
+// Must report 0 allocs/op.
+func BenchmarkIndexNodeVec(b *testing.B) {
+	g, ix := benchIndex(b)
+	users := g.NodesOfType(g.Types().ID("user"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n += len(ix.NodeVec(users[i%len(users)]))
+	}
+	_ = n
 }
 
 // BenchmarkProximityEval measures a single π(x, y) evaluation.

@@ -1,0 +1,159 @@
+// Command bench measures the offline indexing pipeline (mine → match →
+// index, the dominant cost of Table III) across worker counts and emits a
+// machine-readable BENCH_offline.json, so successive changes to the
+// pipeline leave a perf trajectory. The serial/parallel outputs are also
+// cross-checked byte-for-byte before timings are reported.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-users 200] [-reps 3] [-workers 1,2,4,8] [-out BENCH_offline.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/match"
+	"repro/internal/mining"
+)
+
+type run struct {
+	Workers int     `json:"workers"`
+	BestNs  int64   `json:"best_ns"`
+	BestMs  float64 `json:"best_ms"`
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+type report struct {
+	Benchmark  string    `json:"benchmark"`
+	Dataset    string    `json:"dataset"`
+	Users      int       `json:"users"`
+	Metagraphs int       `json:"metagraphs"`
+	NumPairs   int       `json:"num_pairs"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Reps       int       `json:"reps"`
+	Timestamp  time.Time `json:"timestamp"`
+	Runs       []run     `json:"runs"`
+}
+
+func main() {
+	users := flag.Int("users", 200, "LinkedIn dataset size (bench scale)")
+	reps := flag.Int("reps", 3, "repetitions per worker count (best wins)")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+	out := flag.String("out", "BENCH_offline.json", "output path ('-' for stdout only)")
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*workersFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -workers element %q", f)
+		}
+		counts = append(counts, n)
+	}
+	// speedup_vs_serial needs the serial run first; prepend it when absent
+	// and drop duplicate counts so every row has the same baseline.
+	if len(counts) == 0 || counts[0] != 1 {
+		counts = append([]int{1}, counts...)
+	}
+	seen := map[int]bool{}
+	uniq := counts[:0]
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			uniq = append(uniq, w)
+		}
+	}
+	counts = uniq
+
+	ds := dataset.LinkedIn(dataset.Config{Users: *users, Seed: 1, NoiseRate: 0.05})
+	pats := mining.ProximityFilter(
+		mining.Mine(ds.G, mining.Options{MaxNodes: 4, MinSupport: 5}), ds.Anchor)
+	ms := mining.Metagraphs(pats)
+	if len(ms) == 0 {
+		log.Fatal("no metagraphs mined; raise -users")
+	}
+	newMatcher := func() match.Matcher { return match.NewSymISO(ds.G) }
+
+	// Correctness gate: every worker count must rebuild the serial index
+	// byte-for-byte before its timings mean anything.
+	ref := index.BuildParallel(ms, newMatcher, 1)
+	var refBuf bytes.Buffer
+	if err := index.Write(&refBuf, ref); err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range counts {
+		var buf bytes.Buffer
+		if err := index.Write(&buf, index.BuildParallel(ms, newMatcher, w)); err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), refBuf.Bytes()) {
+			log.Fatalf("workers=%d produced a different index than the serial build", w)
+		}
+	}
+
+	rep := report{
+		Benchmark:  "offline_index_build",
+		Dataset:    "LinkedIn",
+		Users:      *users,
+		Metagraphs: len(ms),
+		NumPairs:   ref.NumPairs(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       *reps,
+		Timestamp:  time.Now().UTC(),
+	}
+	var serialBest time.Duration
+	for _, w := range counts {
+		best := time.Duration(0)
+		for r := 0; r < *reps; r++ {
+			t0 := time.Now()
+			ix := index.BuildParallel(ms, newMatcher, w)
+			d := time.Since(t0)
+			if ix.NumPairs() != ref.NumPairs() {
+				log.Fatalf("workers=%d: pair count drifted", w)
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		if w == 1 {
+			serialBest = best
+		}
+		speedup := 0.0
+		if serialBest > 0 {
+			speedup = float64(serialBest) / float64(best)
+		}
+		rep.Runs = append(rep.Runs, run{
+			Workers: w,
+			BestNs:  best.Nanoseconds(),
+			BestMs:  float64(best.Nanoseconds()) / 1e6,
+			Speedup: speedup,
+		})
+		fmt.Printf("workers=%-3d best=%8.2fms speedup=%.2fx\n",
+			w, float64(best.Nanoseconds())/1e6, speedup)
+	}
+
+	js, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	js = append(js, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, js, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d metagraphs, GOMAXPROCS=%d)\n", *out, len(ms), rep.GoMaxProcs)
+	} else {
+		os.Stdout.Write(js)
+	}
+}

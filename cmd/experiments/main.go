@@ -9,6 +9,7 @@
 //	experiments [-exp all|table2|fig4|fig6|fig7|table3|fig8|fig9|fig10|fig11]
 //	            [-linkedin-users N] [-facebook-users N] [-splits N]
 //	            [-train-examples N] [-max-nodes N] [-min-support N] [-seed N]
+//	            [-workers N]
 //
 // The defaults complete in a few minutes on one core; raise the user
 // counts to approach the paper's dataset sizes.
@@ -33,6 +34,7 @@ func main() {
 		maxNodes = flag.Int("max-nodes", 0, "metagraph size cap (0 = default; paper uses 5)")
 		minSup   = flag.Int("min-support", 0, "MNI support threshold (0 = default)")
 		seed     = flag.Int64("seed", 0, "base random seed (0 = default)")
+		workers  = flag.Int("workers", 0, "offline matching workers (0 = one per CPU; learned results are identical for every count, only timings change)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	s := experiments.NewSuite(cfg)
 	run := func(name string, fn func() experiments.Report) {

@@ -3,6 +3,7 @@ package semprox
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -21,13 +22,21 @@ type Options struct {
 	// Engine selects the matching engine: "symiso" (default), "quicksi",
 	// "turboiso", or "boostiso". SymISO is the paper's algorithm.
 	Engine string
+	// Workers bounds the goroutines used for offline metagraph matching
+	// (the dominant cost of Table III). Values < 1 mean one worker per
+	// available CPU. Matching fans out one metagraph per worker with a
+	// private matcher, and the per-metagraph vectors merge
+	// deterministically by metagraph offset, so the built index is
+	// identical for every worker count.
+	Workers int
 	// LogTransform applies log(1+count) to the metagraph vectors, the
 	// count transform suggested in Sect. II-A. Off by default.
 	LogTransform bool
 }
 
 // DefaultOptions mirrors the paper's setup (metagraphs of ≤5 nodes,
-// µ=5, γ=10 with decay, 5 restarts, SymISO matching).
+// µ=5, γ=10 with decay, 5 restarts, SymISO matching) with matching
+// parallelized over all available CPUs.
 func DefaultOptions() Options {
 	return Options{
 		Mining: mining.DefaultOptions(),
@@ -36,22 +45,48 @@ func DefaultOptions() Options {
 	}
 }
 
-// Engine is the end-to-end semantic proximity search system. It is not
-// safe for concurrent mutation (Train*), but Query/Proximity are safe to
-// call concurrently once training is done.
+// Engine is the end-to-end semantic proximity search system.
+//
+// Thread safety: Train and TrainDualStage mutate the engine and must not
+// run concurrently with each other or with MatchedCount. Query, Proximity,
+// Weights and Classes are safe for concurrent use at any time — including
+// while another class trains (the class table is lock-guarded and frozen
+// indices are immutable). The lazy matching cache is guarded per slot
+// (sync.Once), so the engine's internal matching fan-out installs each
+// metagraph's vectors exactly once.
 type Engine struct {
 	g      *graph.Graph
 	anchor graph.TypeID
 	opts   Options
 
-	ms      []*metagraph.Metagraph
-	matcher match.Matcher
+	ms []*metagraph.Metagraph
 
 	// metaIx caches the single-metagraph index of each matched metagraph;
-	// dual-stage training matches lazily and never re-matches.
-	metaIx []*index.Index
+	// dual-stage training matches lazily and never re-matches. metaOnce
+	// guards each slot so concurrent installs agree on exactly one match.
+	// Matchers are built per worker by matchMissing (SymISO carries
+	// per-Match scratch sized to the graph, and SymISO-R style engines may
+	// carry mutable state), so none is retained on the engine.
+	metaIx   []*index.Index
+	metaOnce []sync.Once
 
+	classMu sync.RWMutex
 	classes map[string]*classModel
+}
+
+// setClass installs a trained class model.
+func (e *Engine) setClass(class string, cm *classModel) {
+	e.classMu.Lock()
+	e.classes[class] = cm
+	e.classMu.Unlock()
+}
+
+// class returns the trained model of a class, or nil.
+func (e *Engine) class(class string) *classModel {
+	e.classMu.RLock()
+	cm := e.classes[class]
+	e.classMu.RUnlock()
+	return cm
 }
 
 // classModel is the learned state of one semantic class.
@@ -59,6 +94,33 @@ type classModel struct {
 	kept  []int // metagraph indices the model was trained on
 	ix    *index.Index
 	model *core.Model
+}
+
+// validEngine reports whether name selects a known matching engine,
+// without paying for a matcher construction (BoostISO's costs a full
+// graph scan).
+func validEngine(name string) bool {
+	switch name {
+	case "", "symiso", "quicksi", "turboiso", "boostiso":
+		return true
+	}
+	return false
+}
+
+// newMatcher builds a matcher for an engine name already vetted by
+// validEngine in NewEngine.
+func newMatcher(name string, g *graph.Graph) match.Matcher {
+	switch name {
+	case "", "symiso":
+		return match.NewSymISO(g)
+	case "quicksi":
+		return match.NewQuickSI(g)
+	case "turboiso":
+		return match.NewTurboISO(g)
+	case "boostiso":
+		return match.NewBoostISO(g)
+	}
+	panic("semprox: unvalidated matching engine " + name)
 }
 
 // NewEngine mines the metagraph set of g (filtered to symmetric
@@ -76,21 +138,13 @@ func NewEngine(g *graph.Graph, anchorType string, opts Options) (*Engine, error)
 		opts:    opts,
 		classes: make(map[string]*classModel),
 	}
-	switch opts.Engine {
-	case "", "symiso":
-		e.matcher = match.NewSymISO(g)
-	case "quicksi":
-		e.matcher = match.NewQuickSI(g)
-	case "turboiso":
-		e.matcher = match.NewTurboISO(g)
-	case "boostiso":
-		e.matcher = match.NewBoostISO(g)
-	default:
+	if !validEngine(opts.Engine) {
 		return nil, fmt.Errorf("semprox: unknown matching engine %q", opts.Engine)
 	}
 	patterns := mining.ProximityFilter(mining.Mine(g, opts.Mining), anchor)
 	e.ms = mining.Metagraphs(patterns)
 	e.metaIx = make([]*index.Index, len(e.ms))
+	e.metaOnce = make([]sync.Once, len(e.ms))
 	return e, nil
 }
 
@@ -103,32 +157,56 @@ func (e *Engine) Metagraphs() []*Metagraph { return e.ms }
 // NumMetagraphs returns |M|.
 func (e *Engine) NumMetagraphs() int { return len(e.ms) }
 
-// metaIndex lazily matches metagraph i and caches its vectors.
-func (e *Engine) metaIndex(i int) *index.Index {
-	if e.metaIx[i] == nil {
-		b := index.NewBuilder(1)
-		b.AddMetagraph(0, e.ms[i], e.matcher)
-		ix := b.Build()
-		if e.opts.LogTransform {
-			ix = ix.Transform(log1p)
+// matchMissing fans the still-unmatched metagraphs of the subset out over
+// Options.Workers goroutines via index.MatchParts (one private matcher per
+// worker) and installs the parts through the per-slot Once. Returns with
+// every requested slot populated. The nil pre-scan relies on the engine
+// contract that only one Train*/matchMissing runs at a time; the Once
+// install keeps even a violation of that contract memory-safe.
+func (e *Engine) matchMissing(indices []int) {
+	pending := make([]int, 0, len(indices))
+	for _, i := range indices {
+		if e.metaIx[i] == nil {
+			pending = append(pending, i)
 		}
-		e.metaIx[i] = ix
 	}
-	return e.metaIx[i]
+	if len(pending) == 0 {
+		return
+	}
+	ms := make([]*metagraph.Metagraph, len(pending))
+	for k, i := range pending {
+		ms[k] = e.ms[i]
+	}
+	parts, _ := index.MatchParts(ms, func() match.Matcher {
+		return newMatcher(e.opts.Engine, e.g)
+	}, e.opts.Workers)
+	for k, i := range pending {
+		part := parts[k]
+		e.metaOnce[i].Do(func() {
+			if e.opts.LogTransform {
+				part = part.Transform(log1p)
+			}
+			e.metaIx[i] = part
+		})
+	}
 }
 
-// indexFor merges the cached vectors of a metagraph subset.
+// indexFor merges the cached vectors of a metagraph subset, matching any
+// missing metagraphs in parallel first. The merge order is the order of
+// indices, so the result is deterministic for every worker count.
 func (e *Engine) indexFor(indices []int) *index.Index {
+	e.matchMissing(indices)
 	parts := make([]*index.Index, len(indices))
 	for k, i := range indices {
-		parts[k] = e.metaIndex(i)
+		parts[k] = e.metaIx[i]
 	}
 	return index.Merge(parts...)
 }
 
 // MatchedCount reports how many metagraphs have been matched so far —
 // after TrainDualStage this stays well below NumMetagraphs, which is the
-// whole point of Alg. 1.
+// whole point of Alg. 1. Like Train*, it must not race with in-flight
+// training.
 func (e *Engine) MatchedCount() int {
 	n := 0
 	for _, ix := range e.metaIx {
@@ -139,41 +217,44 @@ func (e *Engine) MatchedCount() int {
 	return n
 }
 
-// Train learns the weight vector of the named class over ALL metagraphs
-// (matching each on first use).
+// Train learns the weight vector of the named class over ALL metagraphs,
+// matching unmatched ones in parallel (Options.Workers) on first use.
 func (e *Engine) Train(class string, examples []Example) {
 	all := make([]int, len(e.ms))
 	for i := range all {
 		all[i] = i
 	}
 	ix := e.indexFor(all)
-	e.classes[class] = &classModel{
+	e.setClass(class, &classModel{
 		kept:  all,
 		ix:    ix,
 		model: core.Train(ix, examples, e.opts.Train),
-	}
+	})
 }
 
 // TrainDualStage learns the class with dual-stage training (Alg. 1):
 // only the metapath seeds plus numCandidates heuristically-selected
-// metagraphs are ever matched.
+// metagraphs are ever matched. Each stage's matching fans out over
+// Options.Workers.
 func (e *Engine) TrainDualStage(class string, examples []Example, numCandidates int) {
 	opts := core.DefaultDualStage(numCandidates)
 	opts.Train = e.opts.Train
 	res := core.DualStage(e.ms, e.indexFor, examples, opts)
-	e.classes[class] = &classModel{
+	e.setClass(class, &classModel{
 		kept:  res.Kept,
 		ix:    e.indexFor(res.Kept),
 		model: res.Model,
-	}
+	})
 }
 
 // Classes returns the trained class names, sorted.
 func (e *Engine) Classes() []string {
+	e.classMu.RLock()
 	out := make([]string, 0, len(e.classes))
 	for c := range e.classes {
 		out = append(out, c)
 	}
+	e.classMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -182,7 +263,7 @@ func (e *Engine) Classes() []string {
 // (zero for metagraphs the class never matched), or nil if the class is
 // untrained.
 func (e *Engine) Weights(class string) []float64 {
-	cm := e.classes[class]
+	cm := e.class(class)
 	if cm == nil {
 		return nil
 	}
@@ -195,8 +276,9 @@ func (e *Engine) Weights(class string) []float64 {
 
 // Query ranks the nodes closest to q under the named class and returns
 // the top k (k <= 0 returns all candidates). The class must be trained.
+// Safe for concurrent use once the class is trained.
 func (e *Engine) Query(class string, q NodeID, k int) ([]Ranked, error) {
-	cm := e.classes[class]
+	cm := e.class(class)
 	if cm == nil {
 		return nil, fmt.Errorf("semprox: class %q not trained", class)
 	}
@@ -204,8 +286,9 @@ func (e *Engine) Query(class string, q NodeID, k int) ([]Ranked, error) {
 }
 
 // Proximity evaluates π(x, y) under the named class's learned weights.
+// Safe for concurrent use once the class is trained.
 func (e *Engine) Proximity(class string, x, y NodeID) (float64, error) {
-	cm := e.classes[class]
+	cm := e.class(class)
 	if cm == nil {
 		return 0, fmt.Errorf("semprox: class %q not trained", class)
 	}

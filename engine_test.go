@@ -2,6 +2,7 @@ package semprox
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"repro/internal/fixtures"
@@ -111,6 +112,139 @@ func TestEngineDualStageMatchesLazily(t *testing.T) {
 	}
 	if len(res) == 0 {
 		t.Fatal("empty dual-stage ranking")
+	}
+}
+
+// TestEngineParallelTrainDeterministic asserts that Options.Workers only
+// changes wall-clock, never results: training is seeded and the parallel
+// matching merge is ordered by metagraph offset, so learned weights and
+// rankings must match the serial build exactly.
+func TestEngineParallelTrainDeterministic(t *testing.T) {
+	weightsFor := func(workers int) ([]float64, []Ranked) {
+		g := fixtures.Toy()
+		opts := DefaultOptions()
+		opts.Mining = mining.Options{MaxNodes: 4, MinSupport: 1}
+		opts.Train.Restarts = 2
+		opts.Train.MaxIters = 200
+		opts.Workers = workers
+		eng, err := NewEngine(g, "user", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Train("classmate", classmateExamples(g))
+		res, err := eng.Query("classmate", g.NodeByName("Kate"), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Weights("classmate"), res
+	}
+	wantW, wantR := weightsFor(1)
+	for _, workers := range []int{2, 8} {
+		gotW, gotR := weightsFor(workers)
+		if len(gotW) != len(wantW) {
+			t.Fatalf("workers=%d: %d weights, want %d", workers, len(gotW), len(wantW))
+		}
+		for i := range wantW {
+			if gotW[i] != wantW[i] {
+				t.Fatalf("workers=%d: weight[%d] = %v, want %v", workers, i, gotW[i], wantW[i])
+			}
+		}
+		if len(gotR) != len(wantR) {
+			t.Fatalf("workers=%d: ranking length %d, want %d", workers, len(gotR), len(wantR))
+		}
+		for i := range wantR {
+			if gotR[i] != wantR[i] {
+				t.Fatalf("workers=%d: ranking[%d] = %v, want %v", workers, i, gotR[i], wantR[i])
+			}
+		}
+	}
+}
+
+// TestEngineDualStageParallelDeterministic does the same for the lazy
+// dual-stage path, which matches two different subsets through the
+// concurrent per-slot cache.
+func TestEngineDualStageParallelDeterministic(t *testing.T) {
+	run := func(workers int) ([]float64, int) {
+		g := fixtures.Toy()
+		opts := DefaultOptions()
+		opts.Mining = mining.Options{MaxNodes: 4, MinSupport: 1}
+		opts.Train.Restarts = 2
+		opts.Train.MaxIters = 200
+		opts.Workers = workers
+		eng, err := NewEngine(g, "user", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.TrainDualStage("classmate", classmateExamples(g), 2)
+		return eng.Weights("classmate"), eng.MatchedCount()
+	}
+	wantW, wantMatched := run(1)
+	for _, workers := range []int{4} {
+		gotW, gotMatched := run(workers)
+		if gotMatched != wantMatched {
+			t.Fatalf("workers=%d matched %d metagraphs, serial matched %d", workers, gotMatched, wantMatched)
+		}
+		for i := range wantW {
+			if gotW[i] != wantW[i] {
+				t.Fatalf("workers=%d: weight[%d] = %v, want %v", workers, i, gotW[i], wantW[i])
+			}
+		}
+	}
+}
+
+// TestEngineConcurrentOnline hammers Query and Proximity from many
+// goroutines after training; run under -race this pins the documented
+// thread-safety guarantee of the online phase.
+func TestEngineConcurrentOnline(t *testing.T) {
+	eng, g := toyEngine(t)
+	eng.Train("classmate", classmateExamples(g))
+	users := []NodeID{
+		g.NodeByName("Alice"), g.NodeByName("Bob"), g.NodeByName("Kate"),
+		g.NodeByName("Jay"), g.NodeByName("Tom"),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := users[(w+i)%len(users)]
+				if _, err := eng.Query("classmate", q, 10); err != nil {
+					t.Error(err)
+					return
+				}
+				x, y := users[i%len(users)], users[(i+1)%len(users)]
+				if p, err := eng.Proximity("classmate", x, y); err != nil || p < 0 || p > 1 {
+					t.Errorf("Proximity(%d, %d) = %f, %v", x, y, p, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestEngineQueryDuringTrain pins the documented guarantee that queries on
+// an already-trained class are safe while a different class trains.
+func TestEngineQueryDuringTrain(t *testing.T) {
+	eng, g := toyEngine(t)
+	eng.Train("classmate", classmateExamples(g))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		eng.Train("family", []Example{
+			{Q: g.NodeByName("Alice"), X: g.NodeByName("Bob"), Y: g.NodeByName("Tom")},
+		})
+	}()
+	for i := 0; i < 100; i++ {
+		if _, err := eng.Query("classmate", g.NodeByName("Kate"), 5); err != nil {
+			t.Fatal(err)
+		}
+		eng.Classes()
+	}
+	<-done
+	if got := eng.Classes(); len(got) != 2 {
+		t.Fatalf("Classes = %v", got)
 	}
 }
 

@@ -79,7 +79,7 @@ func (s *Suite) Table3() Report {
 		rep.Rows = append(rep.Rows, []string{
 			name,
 			fmt.Sprintf("%.2f", p.MineTime.Seconds()),
-			fmt.Sprintf("%.2f", p.MatchTime.Seconds()),
+			fmt.Sprintf("%.2f", p.MatchWall.Seconds()),
 			fmt.Sprintf("%.2f", trainTime.Seconds()),
 			fmt.Sprintf("%.2e", perQuery),
 		})

@@ -4,10 +4,19 @@
 // (ContainsSym), and m_x[i] counts the instances in which x sits on a
 // position symmetric to some other position. The vectors are the features
 // of the MGP proximity measure and are precomputed offline (Fig. 3).
+//
+// The frozen Index uses a flat CSR-style layout mirroring the graph
+// substrate: all rows of a table live in one contiguous []Entry arena,
+// addressed through sorted key and offset slices. Reads (NodeVec, PairVec,
+// Partners) are a binary search plus a slice header — no allocation, no
+// pointer chasing — and Merge/Project/Transform operate on whole arenas
+// instead of one small map row at a time.
 package index
 
 import (
-	"sort"
+	"cmp"
+	"slices"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/match"
@@ -39,6 +48,9 @@ type Entry struct {
 // SparseVec is a sparse metagraph vector sorted by Meta.
 type SparseVec []Entry
 
+// compareEntryMeta orders entries by metagraph index.
+func compareEntryMeta(a, b Entry) int { return cmp.Compare(a.Meta, b.Meta) }
+
 // Dot returns v · w for a dense weight vector w indexed by metagraph.
 func (v SparseVec) Dot(w []float64) float64 {
 	var s float64
@@ -50,110 +62,280 @@ func (v SparseVec) Dot(w []float64) float64 {
 
 // Get returns the coordinate for metagraph i (0 when absent).
 func (v SparseVec) Get(i int) float64 {
-	lo := sort.Search(len(v), func(k int) bool { return v[k].Meta >= int32(i) })
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid].Meta < int32(i) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	if lo < len(v) && v[lo].Meta == int32(i) {
 		return v[lo].Count
 	}
 	return 0
 }
 
+// csr is one table of the index: rows of Entry keyed by K, stored as a
+// contiguous arena with sorted keys and per-row offsets. The zero value is
+// the empty table.
+type csr[K cmp.Ordered] struct {
+	keys []K
+	off  []int32 // len(keys)+1 when keys is non-empty
+	ent  []Entry // arena; row i is ent[off[i]:off[i+1]]
+}
+
+// row returns the row for key k, or nil when absent. Allocation-free.
+func (c *csr[K]) row(k K) SparseVec {
+	i := findKey(c.keys, k)
+	if i < 0 {
+		return nil
+	}
+	return c.ent[c.off[i]:c.off[i+1]]
+}
+
+// dedupeSorted copies the distinct values of a sorted slice into a
+// right-sized allocation, so long-lived key slices never pin the oversized
+// scratch array they were deduped from.
+func dedupeSorted[K cmp.Ordered](sorted []K) []K {
+	return slices.Clone(slices.Compact(sorted))
+}
+
+// findKey binary-searches a sorted key slice, returning the position of k
+// or -1. slices.BinarySearch is closure-free, so reads stay
+// allocation-free.
+func findKey[K cmp.Ordered](keys []K, k K) int {
+	i, ok := slices.BinarySearch(keys, k)
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// csrFromRows freezes map rows into a csr in ascending key order. Each row
+// is normalized: sorted by Meta with duplicate coordinates summed (rows
+// built by ascending AddMetagraph calls are already sorted, making the
+// normalization a no-op scan).
+func csrFromRows[K cmp.Ordered](rows map[K][]Entry) csr[K] {
+	if len(rows) == 0 {
+		return csr[K]{}
+	}
+	keys := make([]K, 0, len(rows))
+	total := 0
+	for k, row := range rows {
+		keys = append(keys, k)
+		total += len(row)
+	}
+	slices.Sort(keys)
+	c := csr[K]{
+		keys: keys,
+		off:  make([]int32, 1, len(keys)+1),
+		ent:  make([]Entry, 0, total),
+	}
+	for _, k := range keys {
+		c.ent = appendNormalized(c.ent, rows[k])
+		c.off = append(c.off, int32(len(c.ent)))
+	}
+	return c
+}
+
+// appendNormalized appends row to arena sorted by Meta with duplicate Metas
+// coalesced by summing.
+func appendNormalized(arena []Entry, row []Entry) []Entry {
+	sorted := true
+	for i := 1; i < len(row); i++ {
+		if row[i].Meta <= row[i-1].Meta {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return append(arena, row...)
+	}
+	tmp := slices.Clone(row)
+	slices.SortFunc(tmp, compareEntryMeta)
+	start := len(arena)
+	for _, e := range tmp {
+		// Coalesce only within this row: never merge into the previous
+		// row's tail entry.
+		if n := len(arena); n > start && arena[n-1].Meta == e.Meta {
+			arena[n-1].Count += e.Count
+		} else {
+			arena = append(arena, e)
+		}
+	}
+	return arena
+}
+
 // Index holds the frozen metagraph vectors for one graph and one metagraph
 // set M. It is immutable after Build and safe for concurrent reads.
 type Index struct {
 	numMeta int
-	mx      map[graph.NodeID]SparseVec
-	mxy     map[PairKey]SparseVec
-	// partners[x] lists every y that shares at least one instance with x
-	// symmetrically; the online phase ranks these candidates.
-	partners map[graph.NodeID][]graph.NodeID
+	mx      csr[graph.NodeID]
+	mxy     csr[PairKey]
+	// partners lists, per node, every y that shares at least one instance
+	// with x symmetrically; the online phase ranks these candidates. It is
+	// derived from the pair keys on first use: the single-metagraph parts
+	// the parallel build produces are merged without their partner tables
+	// ever being read, so building them eagerly would be pure waste.
+	partners *partnerTable
+}
+
+// partnerTable is the lazily built partner CSR (same shape as the vector
+// tables, with node lists instead of entries). The Once makes the build
+// safe under concurrent first reads.
+type partnerTable struct {
+	once sync.Once
+	keys []graph.NodeID
+	off  []int32
+	list []graph.NodeID
 }
 
 // NumMeta returns |M|, the length of the weight vectors this index pairs
 // with.
 func (ix *Index) NumMeta() int { return ix.numMeta }
 
-// NodeVec returns m_x (nil when x never occurs symmetrically).
-func (ix *Index) NodeVec(x graph.NodeID) SparseVec { return ix.mx[x] }
+// NodeVec returns m_x (nil when x never occurs symmetrically). The slice is
+// a view into the index arena; do not modify.
+func (ix *Index) NodeVec(x graph.NodeID) SparseVec { return ix.mx.row(x) }
 
-// PairVec returns m_xy (nil when x and y never co-occur symmetrically).
+// PairVec returns m_xy (nil when x and y never co-occur symmetrically). The
+// slice is a view into the index arena; do not modify.
 func (ix *Index) PairVec(x, y graph.NodeID) SparseVec {
-	return ix.mxy[MakePairKey(x, y)]
+	return ix.mxy.row(MakePairKey(x, y))
 }
 
 // Partners returns the nodes that co-occur symmetrically with x in at least
 // one instance, in ascending order. The slice is shared; do not modify.
-func (ix *Index) Partners(x graph.NodeID) []graph.NodeID { return ix.partners[x] }
+func (ix *Index) Partners(x graph.NodeID) []graph.NodeID {
+	pt := ix.partners
+	pt.once.Do(func() { pt.build(ix.mxy.keys) })
+	i := findKey(pt.keys, x)
+	if i < 0 {
+		return nil
+	}
+	return pt.list[pt.off[i]:pt.off[i+1]]
+}
 
 // NumPairs returns the number of node pairs with a non-zero m_xy.
-func (ix *Index) NumPairs() int { return len(ix.mxy) }
+func (ix *Index) NumPairs() int { return len(ix.mxy.keys) }
+
+// build derives the partner CSR from the sorted pair keys. For a fixed
+// node x the sorted (min, max) pair order emits partners below x first
+// (ascending, while x is the max endpoint) and partners above x after
+// (ascending, while x is the min endpoint), so every row comes out sorted
+// without a per-row sort.
+func (pt *partnerTable) build(pairs []PairKey) {
+	if len(pairs) == 0 {
+		return
+	}
+	ends := make([]graph.NodeID, 0, 2*len(pairs))
+	for _, k := range pairs {
+		x, y := k.Nodes()
+		ends = append(ends, x, y)
+	}
+	slices.Sort(ends)
+	keys := dedupeSorted(ends)
+
+	off := make([]int32, len(keys)+1)
+	for _, k := range pairs {
+		x, y := k.Nodes()
+		off[findKey(keys, x)+1]++
+		off[findKey(keys, y)+1]++
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+	list := make([]graph.NodeID, off[len(keys)])
+	cur := make([]int32, len(keys))
+	copy(cur, off[:len(keys)])
+	for _, k := range pairs {
+		x, y := k.Nodes()
+		xi, yi := findKey(keys, x), findKey(keys, y)
+		list[cur[xi]] = y
+		cur[xi]++
+		list[cur[yi]] = x
+		cur[yi]++
+	}
+	pt.keys, pt.off, pt.list = keys, off, list
+}
 
 // Transform returns a copy of the index with f applied to every count; the
-// paper mentions log-style transforms of the raw counts (Sect. II-A).
+// paper mentions log-style transforms of the raw counts (Sect. II-A). Keys,
+// offsets and partner lists are shared with the receiver (both are
+// immutable); only the entry arenas are copied.
 func (ix *Index) Transform(f func(float64) float64) *Index {
-	out := &Index{
-		numMeta:  ix.numMeta,
-		mx:       make(map[graph.NodeID]SparseVec, len(ix.mx)),
-		mxy:      make(map[PairKey]SparseVec, len(ix.mxy)),
-		partners: ix.partners,
+	out := *ix
+	out.mx.ent = transformArena(ix.mx.ent, f)
+	out.mxy.ent = transformArena(ix.mxy.ent, f)
+	return &out
+}
+
+func transformArena(ent []Entry, f func(float64) float64) []Entry {
+	nv := make([]Entry, len(ent))
+	for i, e := range ent {
+		nv[i] = Entry{e.Meta, f(e.Count)}
 	}
-	for k, v := range ix.mx {
-		nv := make(SparseVec, len(v))
-		for i, e := range v {
-			nv[i] = Entry{e.Meta, f(e.Count)}
-		}
-		out.mx[k] = nv
-	}
-	for k, v := range ix.mxy {
-		nv := make(SparseVec, len(v))
-		for i, e := range v {
-			nv[i] = Entry{e.Meta, f(e.Count)}
-		}
-		out.mxy[k] = nv
-	}
-	return out
+	return nv
 }
 
 // Project returns a view of the index restricted to the metagraph subset
 // given by keep (indices into the original M), renumbered 0..len(keep)-1 in
 // the given order. Dual-stage training uses it to train on seeds and
-// candidates without re-matching anything.
+// candidates without re-matching anything. When keep is ascending (the
+// common case) projected rows inherit the source order and no sorting
+// happens at all.
 func (ix *Index) Project(keep []int) *Index {
-	remap := make(map[int32]int32, len(keep))
-	for newI, oldI := range keep {
-		remap[int32(oldI)] = int32(newI)
+	remap := make([]int32, ix.numMeta)
+	for i := range remap {
+		remap[i] = -1
 	}
-	project := func(v SparseVec) SparseVec {
-		var nv SparseVec
-		for _, e := range v {
-			if ni, ok := remap[e.Meta]; ok {
-				nv = append(nv, Entry{ni, e.Count})
+	ascending := true
+	for newI, oldI := range keep {
+		remap[oldI] = int32(newI)
+		if newI > 0 && oldI <= keep[newI-1] {
+			ascending = false
+		}
+	}
+	return &Index{
+		numMeta:  len(keep),
+		mx:       projectCSR(ix.mx, remap, ascending),
+		mxy:      projectCSR(ix.mxy, remap, ascending),
+		partners: &partnerTable{},
+	}
+}
+
+// projectCSR rewrites one table under the metagraph renumbering, dropping
+// rows that lose all coordinates. When the renumbering is not monotone the
+// surviving rows are re-sorted in place in the new arena.
+func projectCSR[K cmp.Ordered](c csr[K], remap []int32, ascending bool) csr[K] {
+	if len(c.keys) == 0 {
+		return csr[K]{}
+	}
+	out := csr[K]{
+		keys: make([]K, 0, len(c.keys)),
+		off:  make([]int32, 1, len(c.keys)+1),
+		ent:  make([]Entry, 0, len(c.ent)),
+	}
+	for i, k := range c.keys {
+		start := len(out.ent)
+		for _, e := range c.ent[c.off[i]:c.off[i+1]] {
+			if ni := remap[e.Meta]; ni >= 0 {
+				out.ent = append(out.ent, Entry{ni, e.Count})
 			}
 		}
-		sort.Slice(nv, func(a, b int) bool { return nv[a].Meta < nv[b].Meta })
-		return nv
-	}
-	out := &Index{
-		numMeta:  len(keep),
-		mx:       make(map[graph.NodeID]SparseVec, len(ix.mx)),
-		mxy:      make(map[PairKey]SparseVec, len(ix.mxy)),
-		partners: make(map[graph.NodeID][]graph.NodeID, len(ix.partners)),
-	}
-	for k, v := range ix.mx {
-		if nv := project(v); len(nv) > 0 {
-			out.mx[k] = nv
+		if len(out.ent) == start {
+			continue
 		}
-	}
-	for k, v := range ix.mxy {
-		if nv := project(v); len(nv) > 0 {
-			out.mxy[k] = nv
-			x, y := k.Nodes()
-			out.partners[x] = append(out.partners[x], y)
-			out.partners[y] = append(out.partners[y], x)
+		if !ascending {
+			slices.SortFunc(out.ent[start:], compareEntryMeta)
 		}
+		out.keys = append(out.keys, k)
+		out.off = append(out.off, int32(len(out.ent)))
 	}
-	for k := range out.partners {
-		p := out.partners[k]
-		sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
+	if len(out.keys) == 0 {
+		return csr[K]{}
 	}
 	return out
 }
@@ -163,66 +345,107 @@ func (ix *Index) Project(keep []int) *Index {
 // offset(k)+j. The engine caches one single-metagraph index per matched
 // metagraph and merges subsets on demand, so dual-stage training never
 // re-matches anything.
+//
+// Parts are consumed by an offset-aware k-way concatenation: each part's
+// rows are already Meta-sorted and the per-part offsets grow monotonically,
+// so appending part rows in part order yields sorted rows directly — no
+// per-row sort is ever needed.
 func Merge(parts ...*Index) *Index {
-	total := 0
-	for _, p := range parts {
-		total += p.numMeta
+	out := &Index{partners: &partnerTable{}}
+	offsets := make([]int32, len(parts))
+	var off int32
+	for i, p := range parts {
+		offsets[i] = off
+		off += int32(p.numMeta)
 	}
-	out := &Index{
-		numMeta:  total,
-		mx:       make(map[graph.NodeID]SparseVec),
-		mxy:      make(map[PairKey]SparseVec),
-		partners: make(map[graph.NodeID][]graph.NodeID),
-	}
-	offset := int32(0)
-	mxRows := make(map[graph.NodeID][]Entry)
-	mxyRows := make(map[PairKey][]Entry)
-	for _, p := range parts {
-		for k, v := range p.mx {
-			for _, e := range v {
-				mxRows[k] = append(mxRows[k], Entry{e.Meta + offset, e.Count})
-			}
-		}
-		for k, v := range p.mxy {
-			for _, e := range v {
-				mxyRows[k] = append(mxyRows[k], Entry{e.Meta + offset, e.Count})
-			}
-		}
-		offset += int32(p.numMeta)
-	}
-	for k, row := range mxRows {
-		out.mx[k] = SparseVec(row) // concatenation order keeps Meta ascending per part append order
-		sort.Slice(out.mx[k], func(a, b int) bool { return out.mx[k][a].Meta < out.mx[k][b].Meta })
-	}
-	for k, row := range mxyRows {
-		v := SparseVec(row)
-		sort.Slice(v, func(a, b int) bool { return v[a].Meta < v[b].Meta })
-		out.mxy[k] = v
-		x, y := k.Nodes()
-		out.partners[x] = append(out.partners[x], y)
-		out.partners[y] = append(out.partners[y], x)
-	}
-	for k := range out.partners {
-		p := out.partners[k]
-		sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
-	}
+	out.numMeta = int(off)
+	out.mx = mergeCSR(parts, offsets, func(p *Index) *csr[graph.NodeID] { return &p.mx })
+	out.mxy = mergeCSR(parts, offsets, func(p *Index) *csr[PairKey] { return &p.mxy })
 	return out
 }
 
+// mergeCSR concatenates one table across parts in two passes that stay
+// linear in the total part keys/entries (plus one binary search per part
+// key into the key union): pass one sizes every output row, pass two fills
+// the arena with per-row cursors. Iterating parts in ascending order keeps
+// each row's entries in ascending part — and therefore Meta — order, so no
+// row is ever sorted.
+func mergeCSR[K cmp.Ordered](parts []*Index, offsets []int32, table func(*Index) *csr[K]) csr[K] {
+	tables := make([]*csr[K], len(parts))
+	totalKeys, totalEnt := 0, 0
+	for i, p := range parts {
+		tables[i] = table(p)
+		totalKeys += len(tables[i].keys)
+		totalEnt += len(tables[i].ent)
+	}
+	if totalEnt == 0 {
+		return csr[K]{}
+	}
+	union := make([]K, 0, totalKeys)
+	for _, c := range tables {
+		union = append(union, c.keys...)
+	}
+	slices.Sort(union)
+	keys := dedupeSorted(union)
+
+	// Pass one: locate every part key in the union and accumulate row
+	// entry counts; prefix-summing them yields the offsets directly.
+	pos := make([][]int32, len(tables))
+	off := make([]int32, len(keys)+1)
+	for pi, c := range tables {
+		pp := make([]int32, len(c.keys))
+		for ki, k := range c.keys {
+			p := int32(findKey(keys, k))
+			pp[ki] = p
+			off[p+1] += c.off[ki+1] - c.off[ki]
+		}
+		pos[pi] = pp
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+
+	// Pass two: copy rows into place, shifting Metas by the part offset.
+	ent := make([]Entry, totalEnt)
+	cur := make([]int32, len(keys))
+	copy(cur, off[:len(keys)])
+	for pi, c := range tables {
+		shift := offsets[pi]
+		for ki := range c.keys {
+			at := cur[pos[pi][ki]]
+			for _, e := range c.ent[c.off[ki]:c.off[ki+1]] {
+				ent[at] = Entry{e.Meta + shift, e.Count}
+				at++
+			}
+			cur[pos[pi][ki]] = at
+		}
+	}
+	return csr[K]{keys: keys, off: off, ent: ent}
+}
+
 // Builder accumulates instance counts metagraph by metagraph and freezes
-// them into an Index.
+// them into an Index. It keeps one flat []Entry row per key and reuses two
+// scratch count maps across AddMetagraph calls, so matching a metagraph
+// allocates nothing per instance.
 type Builder struct {
 	numMeta int
-	mx      map[graph.NodeID]map[int32]float64
-	mxy     map[PairKey]map[int32]float64
+	mx      map[graph.NodeID][]Entry
+	mxy     map[PairKey][]Entry
+	// Per-call scratch: counts for the metagraph currently being matched.
+	// One float per touched key replaces the per-key inner maps the builder
+	// used to allocate for every new key.
+	nodeScratch map[graph.NodeID]float64
+	pairScratch map[PairKey]float64
 }
 
 // NewBuilder returns a Builder for a metagraph set of the given size.
 func NewBuilder(numMeta int) *Builder {
 	return &Builder{
-		numMeta: numMeta,
-		mx:      make(map[graph.NodeID]map[int32]float64),
-		mxy:     make(map[PairKey]map[int32]float64),
+		numMeta:     numMeta,
+		mx:          make(map[graph.NodeID][]Entry),
+		mxy:         make(map[PairKey][]Entry),
+		nodeScratch: make(map[graph.NodeID]float64),
+		pairScratch: make(map[PairKey]float64),
 	}
 }
 
@@ -248,59 +471,32 @@ func (b *Builder) AddMetagraph(i int, m *metagraph.Metagraph, matcher match.Matc
 			posSet = append(posSet, p.V)
 		}
 	}
-	mi := int32(i)
+	clear(b.nodeScratch)
+	clear(b.pairScratch)
 	match.Instances(matcher, m, func(a []graph.NodeID) bool {
 		for _, p := range symPairs {
-			key := MakePairKey(a[p.U], a[p.V])
-			row := b.mxy[key]
-			if row == nil {
-				row = make(map[int32]float64, 2)
-				b.mxy[key] = row
-			}
-			row[mi]++
+			b.pairScratch[MakePairKey(a[p.U], a[p.V])]++
 		}
 		for _, p := range posSet {
-			x := a[p]
-			row := b.mx[x]
-			if row == nil {
-				row = make(map[int32]float64, 4)
-				b.mx[x] = row
-			}
-			row[mi]++
+			b.nodeScratch[a[p]]++
 		}
 		return true
 	})
+	mi := int32(i)
+	for k, c := range b.pairScratch {
+		b.mxy[k] = append(b.mxy[k], Entry{mi, c})
+	}
+	for k, c := range b.nodeScratch {
+		b.mx[k] = append(b.mx[k], Entry{mi, c})
+	}
 }
 
 // Build freezes the accumulated counts into an immutable Index.
 func (b *Builder) Build() *Index {
-	ix := &Index{
+	return &Index{
 		numMeta:  b.numMeta,
-		mx:       make(map[graph.NodeID]SparseVec, len(b.mx)),
-		mxy:      make(map[PairKey]SparseVec, len(b.mxy)),
-		partners: make(map[graph.NodeID][]graph.NodeID),
+		mx:       csrFromRows(b.mx),
+		mxy:      csrFromRows(b.mxy),
+		partners: &partnerTable{},
 	}
-	for k, row := range b.mx {
-		ix.mx[k] = freeze(row)
-	}
-	for k, row := range b.mxy {
-		ix.mxy[k] = freeze(row)
-		x, y := k.Nodes()
-		ix.partners[x] = append(ix.partners[x], y)
-		ix.partners[y] = append(ix.partners[y], x)
-	}
-	for k := range ix.partners {
-		p := ix.partners[k]
-		sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
-	}
-	return ix
-}
-
-func freeze(row map[int32]float64) SparseVec {
-	v := make(SparseVec, 0, len(row))
-	for i, c := range row {
-		v = append(v, Entry{i, c})
-	}
-	sort.Slice(v, func(a, b int) bool { return v[a].Meta < v[b].Meta })
-	return v
 }

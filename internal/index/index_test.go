@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"testing"
 
@@ -278,6 +279,33 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestBuilderOutOfOrderAddMetagraph pins Build's row normalization: rows
+// accumulated by descending-index AddMetagraph calls are unsorted and must
+// freeze to the same index as an ascending build — with coalescing
+// confined to each row (a row's first entry must never merge into the
+// previous key's tail).
+func TestBuilderOutOfOrderAddMetagraph(t *testing.T) {
+	g := buildToy(t)
+	mgs := toyMetagraphs()
+	matcher := match.NewSymISO(g)
+
+	asc := NewBuilder(len(mgs))
+	for i, m := range mgs {
+		asc.AddMetagraph(i, m, matcher)
+	}
+	want := asc.Build()
+
+	desc := NewBuilder(len(mgs))
+	for i := len(mgs) - 1; i >= 0; i-- {
+		desc.AddMetagraph(i, mgs[i], matcher)
+	}
+	got := desc.Build()
+
+	if !bytes.Equal(writeBytes(t, got), writeBytes(t, want)) {
+		t.Fatal("out-of-order build differs from ascending build")
+	}
+}
+
 func TestMergeEmpty(t *testing.T) {
 	m := Merge()
 	if m.NumMeta() != 0 || m.NumPairs() != 0 {
@@ -327,8 +355,90 @@ func TestIndexRoundTrip(t *testing.T) {
 	}
 }
 
+var (
+	sinkVec      SparseVec
+	sinkPartners []graph.NodeID
+	sinkFloat    float64
+)
+
+// TestZeroAllocReads pins the online-phase contract: reading vectors out
+// of the frozen CSR index and dotting them against a weight vector must
+// not allocate.
+func TestZeroAllocReads(t *testing.T) {
+	g, ix := buildToyIndex(t)
+	kate := g.NodeByName("Kate")
+	jay := g.NodeByName("Jay")
+	w := make([]float64, ix.NumMeta())
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	v := ix.PairVec(kate, jay)
+	if len(v) == 0 {
+		t.Fatal("empty test vector")
+	}
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"NodeVec", func() { sinkVec = ix.NodeVec(kate) }},
+		{"PairVec", func() { sinkVec = ix.PairVec(kate, jay) }},
+		{"Partners", func() { sinkPartners = ix.Partners(kate) }},
+		{"SparseVec.Dot", func() { sinkFloat = v.Dot(w) }},
+		{"SparseVec.Get", func() { sinkFloat = v.Get(2) }},
+	}
+	for _, c := range checks {
+		if allocs := testing.AllocsPerRun(200, c.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f allocs/op, want 0", c.name, allocs)
+		}
+	}
+}
+
 func TestIndexReadErrors(t *testing.T) {
 	if _, err := Read(bytes.NewBufferString("garbage")); err == nil {
 		t.Fatal("Read accepted garbage")
+	}
+}
+
+// TestIndexReadRejectsCorruptTables feeds structurally plausible but
+// invariant-violating files through Read; each must fail loudly instead of
+// panicking later at query time.
+func TestIndexReadRejectsCorruptTables(t *testing.T) {
+	cases := []struct {
+		name string
+		s    serIndex
+	}{
+		{"meta out of range", serIndex{
+			Version: serVersion, NumMeta: 1,
+			MxKeys: []graph.NodeID{1}, MxOff: []int32{0, 1}, MxEnt: []Entry{{Meta: 5, Count: 1}},
+		}},
+		{"negative meta", serIndex{
+			Version: serVersion, NumMeta: 2,
+			MxKeys: []graph.NodeID{1}, MxOff: []int32{0, 1}, MxEnt: []Entry{{Meta: -1, Count: 1}},
+		}},
+		{"unsorted keys", serIndex{
+			Version: serVersion, NumMeta: 1,
+			MxKeys: []graph.NodeID{4, 2}, MxOff: []int32{0, 1, 2},
+			MxEnt:  []Entry{{Meta: 0, Count: 1}, {Meta: 0, Count: 1}},
+		}},
+		{"offset mismatch", serIndex{
+			Version: serVersion, NumMeta: 1,
+			MxKeys: []graph.NodeID{1}, MxOff: []int32{0, 2}, MxEnt: []Entry{{Meta: 0, Count: 1}},
+		}},
+		{"unsorted row", serIndex{
+			Version: serVersion, NumMeta: 4,
+			MxKeys: []graph.NodeID{1}, MxOff: []int32{0, 2},
+			MxEnt:  []Entry{{Meta: 3, Count: 1}, {Meta: 1, Count: 1}},
+		}},
+		{"negative numMeta", serIndex{Version: serVersion, NumMeta: -1}},
+		{"bad version", serIndex{Version: 1}},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&c.s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(&buf); err == nil {
+			t.Errorf("%s: Read accepted corrupt file", c.name)
+		}
 	}
 }

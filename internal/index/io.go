@@ -1,10 +1,10 @@
 package index
 
 import (
+	"cmp"
 	"encoding/gob"
 	"fmt"
 	"io"
-	"sort"
 
 	"repro/internal/graph"
 )
@@ -12,36 +12,36 @@ import (
 // Serialization of the metagraph-vector index. Matching dominates the
 // offline phase (Table III), so persisting its output lets deployments
 // mine+match once and train/query many times.
+//
+// The wire format mirrors the in-memory CSR layout: sorted keys, row
+// offsets and one flat entry arena per table. Index internals are already
+// deterministic, so Write is byte-stable without any extra sorting.
 
 // serIndex is the gob-friendly mirror of Index.
 type serIndex struct {
 	Version int
 	NumMeta int
 	MxKeys  []graph.NodeID
-	MxVecs  [][]Entry
+	MxOff   []int32
+	MxEnt   []Entry
 	MxyKeys []PairKey
-	MxyVecs [][]Entry
+	MxyOff  []int32
+	MxyEnt  []Entry
 }
 
-const serVersion = 1
+const serVersion = 2
 
 // Write serializes ix.
 func Write(w io.Writer, ix *Index) error {
-	s := serIndex{Version: serVersion, NumMeta: ix.numMeta}
-	// Deterministic key order makes output byte-stable.
-	for k := range ix.mx {
-		s.MxKeys = append(s.MxKeys, k)
-	}
-	sort.Slice(s.MxKeys, func(i, j int) bool { return s.MxKeys[i] < s.MxKeys[j] })
-	for _, k := range s.MxKeys {
-		s.MxVecs = append(s.MxVecs, ix.mx[k])
-	}
-	for k := range ix.mxy {
-		s.MxyKeys = append(s.MxyKeys, k)
-	}
-	sort.Slice(s.MxyKeys, func(i, j int) bool { return s.MxyKeys[i] < s.MxyKeys[j] })
-	for _, k := range s.MxyKeys {
-		s.MxyVecs = append(s.MxyVecs, ix.mxy[k])
+	s := serIndex{
+		Version: serVersion,
+		NumMeta: ix.numMeta,
+		MxKeys:  ix.mx.keys,
+		MxOff:   ix.mx.off,
+		MxEnt:   ix.mx.ent,
+		MxyKeys: ix.mxy.keys,
+		MxyOff:  ix.mxy.off,
+		MxyEnt:  ix.mxy.ent,
 	}
 	return gob.NewEncoder(w).Encode(&s)
 }
@@ -56,27 +56,60 @@ func Read(r io.Reader) (*Index, error) {
 	if s.Version != serVersion {
 		return nil, fmt.Errorf("index: unsupported version %d", s.Version)
 	}
-	if len(s.MxKeys) != len(s.MxVecs) || len(s.MxyKeys) != len(s.MxyVecs) {
-		return nil, fmt.Errorf("index: corrupt key/vector tables")
+	if s.NumMeta < 0 {
+		return nil, fmt.Errorf("index: negative metagraph count")
 	}
-	ix := &Index{
+	if err := checkCSR(s.MxKeys, s.MxOff, s.MxEnt, s.NumMeta); err != nil {
+		return nil, fmt.Errorf("index: node table: %w", err)
+	}
+	if err := checkCSR(s.MxyKeys, s.MxyOff, s.MxyEnt, s.NumMeta); err != nil {
+		return nil, fmt.Errorf("index: pair table: %w", err)
+	}
+	return &Index{
 		numMeta:  s.NumMeta,
-		mx:       make(map[graph.NodeID]SparseVec, len(s.MxKeys)),
-		mxy:      make(map[PairKey]SparseVec, len(s.MxyKeys)),
-		partners: make(map[graph.NodeID][]graph.NodeID),
+		mx:       csr[graph.NodeID]{keys: s.MxKeys, off: s.MxOff, ent: s.MxEnt},
+		mxy:      csr[PairKey]{keys: s.MxyKeys, off: s.MxyOff, ent: s.MxyEnt},
+		partners: &partnerTable{},
+	}, nil
+}
+
+// checkCSR validates the invariants of one serialized table that reads
+// rely on: strictly ascending keys (binary-searched lookups silently
+// return wrong rows otherwise) and in-range entry Metas (Dot and Project
+// index dense numMeta-length arrays by Meta, so an out-of-range value
+// would panic far from the load site).
+func checkCSR[K cmp.Ordered](keys []K, off []int32, ent []Entry, numMeta int) error {
+	if len(keys) == 0 {
+		if len(off) > 1 || len(ent) != 0 {
+			return fmt.Errorf("corrupt empty table")
+		}
+		return nil
 	}
-	for i, k := range s.MxKeys {
-		ix.mx[k] = s.MxVecs[i]
+	if len(off) != len(keys)+1 || off[0] != 0 || int(off[len(keys)]) != len(ent) {
+		return fmt.Errorf("corrupt key/offset tables")
 	}
-	for i, k := range s.MxyKeys {
-		ix.mxy[k] = s.MxyVecs[i]
-		x, y := k.Nodes()
-		ix.partners[x] = append(ix.partners[x], y)
-		ix.partners[y] = append(ix.partners[y], x)
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("offsets not monotone")
+		}
 	}
-	for k := range ix.partners {
-		p := ix.partners[k]
-		sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return fmt.Errorf("keys not strictly ascending")
+		}
 	}
-	return ix, nil
+	for _, e := range ent {
+		if e.Meta < 0 || int(e.Meta) >= numMeta {
+			return fmt.Errorf("entry metagraph %d out of range [0, %d)", e.Meta, numMeta)
+		}
+	}
+	for i := 0; i < len(keys); i++ {
+		row := ent[off[i]:off[i+1]]
+		for j := 1; j < len(row); j++ {
+			if row[j].Meta <= row[j-1].Meta {
+				return fmt.Errorf("row entries not strictly ascending by metagraph")
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,62 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/match"
+)
+
+// writeBytes serializes ix; Write is deterministic, so equal bytes mean
+// equal NodeVec/PairVec tables for every key.
+func writeBytes(t testing.TB, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMatchPartsAligned checks the MatchParts contract: parts and times
+// align with ms, and merging the parts reproduces the serial index.
+func TestMatchPartsAligned(t *testing.T) {
+	g := buildToy(t)
+	mgs := toyMetagraphs()
+	parts, times := MatchParts(mgs,
+		func() match.Matcher { return match.NewSymISO(g) }, 3)
+	if len(parts) != len(mgs) || len(times) != len(mgs) {
+		t.Fatalf("parts/times misaligned: %d/%d vs %d", len(parts), len(times), len(mgs))
+	}
+	for i, p := range parts {
+		if p == nil || p.NumMeta() != 1 {
+			t.Fatalf("part %d malformed: %+v", i, p)
+		}
+	}
+	merged := Merge(parts...)
+
+	serial := NewBuilder(len(mgs))
+	matcher := match.NewSymISO(g)
+	for i, m := range mgs {
+		serial.AddMetagraph(i, m, matcher)
+	}
+	if !bytes.Equal(writeBytes(t, merged), writeBytes(t, serial.Build())) {
+		t.Fatal("merged parts differ from serial build")
+	}
+}
+
+func TestMatchPartsEmpty(t *testing.T) {
+	parts, times := MatchParts(nil, func() match.Matcher { return nil }, 4)
+	if parts != nil || times != nil {
+		t.Fatalf("MatchParts(nil) = %v, %v", parts, times)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must normalize to >= 1")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("explicit worker counts must pass through")
+	}
+}

@@ -1,0 +1,69 @@
+// External test package: the property test builds indices over the
+// synthetic LinkedIn dataset, whose package transitively imports index —
+// an in-package test would be an import cycle.
+package index_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/match"
+	"repro/internal/mining"
+)
+
+func serialize(t testing.TB, ix *index.Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := index.Write(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelBuildMatchesSerial is the parallel/serial equivalence
+// property: building the offline index with any worker count must be
+// byte-for-byte identical to the one-builder serial build — same NodeVec,
+// PairVec and Partners for every key.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	ds := dataset.LinkedIn(dataset.Config{Users: 200, Seed: 7, NoiseRate: 0.05})
+	pats := mining.ProximityFilter(
+		mining.Mine(ds.G, mining.Options{MaxNodes: 4, MinSupport: 5}), ds.Anchor)
+	ms := mining.Metagraphs(pats)
+	if len(ms) < 4 {
+		t.Fatalf("only %d metagraphs mined; dataset too small to exercise parallelism", len(ms))
+	}
+
+	serial := index.NewBuilder(len(ms))
+	matcher := match.NewSymISO(ds.G)
+	for i, m := range ms {
+		serial.AddMetagraph(i, m, matcher)
+	}
+	want := serial.Build()
+	wantBytes := serialize(t, want)
+
+	for _, workers := range []int{1, 2, 8} {
+		got := index.BuildParallel(ms,
+			func() match.Matcher { return match.NewSymISO(ds.G) }, workers)
+		if got.NumMeta() != want.NumMeta() {
+			t.Fatalf("workers=%d: NumMeta %d != %d", workers, got.NumMeta(), want.NumMeta())
+		}
+		if !bytes.Equal(serialize(t, got), wantBytes) {
+			t.Fatalf("workers=%d: parallel index differs from serial build", workers)
+		}
+		// Partners are rebuilt, not serialized; compare them explicitly.
+		for v := graph.NodeID(0); int(v) < ds.G.NumNodes(); v++ {
+			a, b := got.Partners(v), want.Partners(v)
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d: partners of %d differ: %v vs %v", workers, v, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("workers=%d: partners of %d differ: %v vs %v", workers, v, a, b)
+				}
+			}
+		}
+	}
+}
