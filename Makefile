@@ -1,11 +1,14 @@
 # Tier-1 verification plus the invariants this repo adds on top:
-#   make ci  — vet, build, race-enabled tests, and an offline-bench smoke
-#              run that cross-checks parallel vs serial index builds.
+#   make ci  — vet, build, race-enabled tests, the per-package coverage
+#              floor, and a bench smoke run that cross-checks parallel vs
+#              serial results on both the offline index build and the
+#              online sharded top-k scan.
 GO ?= go
+COVER_FLOOR ?= 80
 
-.PHONY: ci vet build test bench-smoke bench
+.PHONY: ci vet build test cover bench-smoke bench
 
-ci: vet build test bench-smoke
+ci: vet build test cover bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,12 +19,26 @@ build:
 test:
 	$(GO) test -race ./...
 
-# Quick end-to-end offline build: verifies byte-identical indices across
-# worker counts and prints timings without touching BENCH_offline.json.
-bench-smoke:
-	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out -
+# Per-package statement-coverage floor on the learning core and the
+# serving layer. Fails when either package drops below $(COVER_FLOOR)%.
+cover:
+	@for pkg in internal/core internal/server; do \
+		out=$$(mktemp); \
+		$(GO) test -coverprofile=$$out ./$$pkg || exit 1; \
+		pct=$$($(GO) tool cover -func=$$out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		rm -f $$out; \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p=$$pct -v f=$(COVER_FLOOR) 'BEGIN { exit (p + 0 < f + 0) }' \
+			|| { echo "FAIL: $$pkg statement coverage $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; }; \
+	done
 
-# Full offline benchmark; rewrites BENCH_offline.json (commit it to extend
-# the perf trajectory).
+# Quick end-to-end bench: verifies identical parallel/serial results for
+# the offline build AND the online sharded scan, printing timings without
+# touching the committed BENCH_*.json files. Exits non-zero on any drift.
+bench-smoke:
+	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out - -online-out -
+
+# Full benchmark; rewrites BENCH_offline.json and BENCH_online.json
+# (commit them to extend the perf trajectory).
 bench:
 	$(GO) run ./cmd/bench

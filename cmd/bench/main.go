@@ -1,12 +1,21 @@
-// Command bench measures the offline indexing pipeline (mine → match →
-// index, the dominant cost of Table III) across worker counts and emits a
-// machine-readable BENCH_offline.json, so successive changes to the
-// pipeline leave a perf trajectory. The serial/parallel outputs are also
-// cross-checked byte-for-byte before timings are reported.
+// Command bench measures both halves of the pipeline and emits
+// machine-readable perf trajectories:
+//
+//   - offline (BENCH_offline.json): mine → match → index across worker
+//     counts (the dominant cost of Table III), cross-checked byte-for-byte
+//     against the serial build before timings are reported.
+//   - online (BENCH_online.json): the sharded top-k candidate scan behind
+//     /query across worker counts, cross-checked element-for-element
+//     against the serial ranking for every query first.
+//
+// Any failure — a drifted index, a drifted ranking, an unwritable output —
+// exits non-zero without touching the output files (writes are staged to a
+// temp file and renamed), so a CI smoke step can gate on it.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-users 200] [-reps 3] [-workers 1,2,4,8] [-out BENCH_offline.json]
+//	go run ./cmd/bench [-users 200] [-reps 3] [-workers 1,2,4,8] [-k 10]
+//	                   [-out BENCH_offline.json] [-online-out BENCH_online.json]
 package main
 
 import (
@@ -16,14 +25,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/index"
 	"repro/internal/match"
+	"repro/internal/metagraph"
 	"repro/internal/mining"
 )
 
@@ -34,7 +46,13 @@ type run struct {
 	Speedup float64 `json:"speedup_vs_serial"`
 }
 
-type report struct {
+type onlineRun struct {
+	run
+	NsPerQuery int64   `json:"ns_per_query"`
+	QPS        float64 `json:"qps"`
+}
+
+type offlineReport struct {
 	Benchmark  string    `json:"benchmark"`
 	Dataset    string    `json:"dataset"`
 	Users      int       `json:"users"`
@@ -46,23 +64,75 @@ type report struct {
 	Runs       []run     `json:"runs"`
 }
 
+type onlineReport struct {
+	Benchmark  string      `json:"benchmark"`
+	Dataset    string      `json:"dataset"`
+	Users      int         `json:"users"`
+	Queries    int         `json:"queries"`
+	K          int         `json:"k"`
+	Metagraphs int         `json:"metagraphs"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Reps       int         `json:"reps"`
+	Timestamp  time.Time   `json:"timestamp"`
+	Runs       []onlineRun `json:"runs"`
+}
+
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	if err := runBench(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runBench() error {
 	users := flag.Int("users", 200, "LinkedIn dataset size (bench scale)")
 	reps := flag.Int("reps", 3, "repetitions per worker count (best wins)")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
-	out := flag.String("out", "BENCH_offline.json", "output path ('-' for stdout only)")
+	k := flag.Int("k", 10, "top-k for the online benchmark")
+	out := flag.String("out", "BENCH_offline.json", "offline output path ('-' for stdout only)")
+	onlineOut := flag.String("online-out", "BENCH_online.json", "online output path ('-' for stdout only)")
 	flag.Parse()
 
+	counts, err := parseWorkers(*workersFlag)
+	if err != nil {
+		return err
+	}
+
+	ds := dataset.LinkedIn(dataset.Config{Users: *users, Seed: 1, NoiseRate: 0.05})
+	pats := mining.ProximityFilter(
+		mining.Mine(ds.G, mining.Options{MaxNodes: 4, MinSupport: 5}), ds.Anchor)
+	ms := mining.Metagraphs(pats)
+	if len(ms) == 0 {
+		return fmt.Errorf("no metagraphs mined; raise -users")
+	}
+	newMatcher := func() match.Matcher { return match.NewSymISO(ds.G) }
+
+	ref, offline, err := benchOffline(ds, ms, newMatcher, counts, *reps)
+	if err != nil {
+		return err
+	}
+	online, err := benchOnline(ds, ref, len(ms), counts, *reps, *k)
+	if err != nil {
+		return err
+	}
+	if err := emit(*out, offline); err != nil {
+		return err
+	}
+	return emit(*onlineOut, online)
+}
+
+// parseWorkers parses the -workers list, prepending the serial baseline
+// and dropping duplicates so every row shares one baseline.
+func parseWorkers(s string) ([]int, error) {
 	var counts []int
-	for _, f := range strings.Split(*workersFlag, ",") {
+	for _, f := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 1 {
-			log.Fatalf("bad -workers element %q", f)
+			return nil, fmt.Errorf("bad -workers element %q", f)
 		}
 		counts = append(counts, n)
 	}
-	// speedup_vs_serial needs the serial run first; prepend it when absent
-	// and drop duplicate counts so every row has the same baseline.
 	if len(counts) == 0 || counts[0] != 1 {
 		counts = append([]int{1}, counts...)
 	}
@@ -74,53 +144,46 @@ func main() {
 			uniq = append(uniq, w)
 		}
 	}
-	counts = uniq
+	return uniq, nil
+}
 
-	ds := dataset.LinkedIn(dataset.Config{Users: *users, Seed: 1, NoiseRate: 0.05})
-	pats := mining.ProximityFilter(
-		mining.Mine(ds.G, mining.Options{MaxNodes: 4, MinSupport: 5}), ds.Anchor)
-	ms := mining.Metagraphs(pats)
-	if len(ms) == 0 {
-		log.Fatal("no metagraphs mined; raise -users")
-	}
-	newMatcher := func() match.Matcher { return match.NewSymISO(ds.G) }
-
-	// Correctness gate: every worker count must rebuild the serial index
-	// byte-for-byte before its timings mean anything.
+// benchOffline measures the parallel index build. Every worker count must
+// rebuild the serial index byte-for-byte before its timings mean anything.
+func benchOffline(ds *dataset.Dataset, ms []*metagraph.Metagraph, newMatcher func() match.Matcher, counts []int, reps int) (*index.Index, *offlineReport, error) {
 	ref := index.BuildParallel(ms, newMatcher, 1)
 	var refBuf bytes.Buffer
 	if err := index.Write(&refBuf, ref); err != nil {
-		log.Fatal(err)
+		return nil, nil, err
 	}
 	for _, w := range counts {
 		var buf bytes.Buffer
 		if err := index.Write(&buf, index.BuildParallel(ms, newMatcher, w)); err != nil {
-			log.Fatal(err)
+			return nil, nil, err
 		}
 		if !bytes.Equal(buf.Bytes(), refBuf.Bytes()) {
-			log.Fatalf("workers=%d produced a different index than the serial build", w)
+			return nil, nil, fmt.Errorf("offline: workers=%d produced a different index than the serial build", w)
 		}
 	}
 
-	rep := report{
+	rep := &offlineReport{
 		Benchmark:  "offline_index_build",
-		Dataset:    "LinkedIn",
-		Users:      *users,
+		Dataset:    ds.Name,
+		Users:      len(ds.Users()),
 		Metagraphs: len(ms),
 		NumPairs:   ref.NumPairs(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Reps:       *reps,
+		Reps:       reps,
 		Timestamp:  time.Now().UTC(),
 	}
 	var serialBest time.Duration
 	for _, w := range counts {
 		best := time.Duration(0)
-		for r := 0; r < *reps; r++ {
+		for r := 0; r < reps; r++ {
 			t0 := time.Now()
 			ix := index.BuildParallel(ms, newMatcher, w)
 			d := time.Since(t0)
 			if ix.NumPairs() != ref.NumPairs() {
-				log.Fatalf("workers=%d: pair count drifted", w)
+				return nil, nil, fmt.Errorf("offline: workers=%d: pair count drifted", w)
 			}
 			if best == 0 || d < best {
 				best = d
@@ -129,31 +192,119 @@ func main() {
 		if w == 1 {
 			serialBest = best
 		}
-		speedup := 0.0
-		if serialBest > 0 {
-			speedup = float64(serialBest) / float64(best)
+		rep.Runs = append(rep.Runs, makeRun(w, best, serialBest))
+		fmt.Printf("offline workers=%-3d best=%8.2fms speedup=%.2fx\n",
+			w, float64(best.Nanoseconds())/1e6, rep.Runs[len(rep.Runs)-1].Speedup)
+	}
+	return ref, rep, nil
+}
+
+// benchOnline measures the sharded top-k candidate scan over every
+// anchor-typed node. Every worker count's ranking is first cross-checked
+// element-for-element (node AND score) against the serial reference.
+func benchOnline(ds *dataset.Dataset, ix *index.Index, numMeta int, counts []int, reps, k int) (*onlineReport, error) {
+	w := core.UniformWeights(numMeta)
+	queries := ds.Users()
+	refs := make([][]core.Ranked, len(queries))
+	for i, q := range queries {
+		refs[i] = core.RankTop(ix, w, q, k)
+	}
+	for _, workers := range counts {
+		for i, q := range queries {
+			got := core.RankTopSharded(ix, w, q, k, workers)
+			if len(got) != len(refs[i]) {
+				return nil, fmt.Errorf("online: workers=%d query %d: %d results, want %d",
+					workers, q, len(got), len(refs[i]))
+			}
+			for j := range got {
+				if got[j] != refs[i][j] {
+					return nil, fmt.Errorf("online: workers=%d query %d: result %d drifted (%+v vs %+v)",
+						workers, q, j, got[j], refs[i][j])
+				}
+			}
 		}
-		rep.Runs = append(rep.Runs, run{
-			Workers: w,
-			BestNs:  best.Nanoseconds(),
-			BestMs:  float64(best.Nanoseconds()) / 1e6,
-			Speedup: speedup,
-		})
-		fmt.Printf("workers=%-3d best=%8.2fms speedup=%.2fx\n",
-			w, float64(best.Nanoseconds())/1e6, speedup)
 	}
 
-	js, err := json.MarshalIndent(&rep, "", "  ")
+	rep := &onlineReport{
+		Benchmark:  "online_rank_top",
+		Dataset:    ds.Name,
+		Users:      len(ds.Users()),
+		Queries:    len(queries),
+		K:          k,
+		Metagraphs: numMeta,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+		Timestamp:  time.Now().UTC(),
+	}
+	var serialBest time.Duration
+	for _, workers := range counts {
+		best := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			for _, q := range queries {
+				core.RankTopSharded(ix, w, q, k, workers)
+			}
+			d := time.Since(t0)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		if workers == 1 {
+			serialBest = best
+		}
+		or := onlineRun{
+			run:        makeRun(workers, best, serialBest),
+			NsPerQuery: best.Nanoseconds() / int64(len(queries)),
+			QPS:        float64(len(queries)) / best.Seconds(),
+		}
+		rep.Runs = append(rep.Runs, or)
+		fmt.Printf("online  workers=%-3d best=%8.2fms qps=%9.0f speedup=%.2fx\n",
+			workers, or.BestMs, or.QPS, or.Speedup)
+	}
+	return rep, nil
+}
+
+// makeRun fills one timing row.
+func makeRun(workers int, best, serialBest time.Duration) run {
+	speedup := 0.0
+	if serialBest > 0 {
+		speedup = float64(serialBest) / float64(best)
+	}
+	return run{
+		Workers: workers,
+		BestNs:  best.Nanoseconds(),
+		BestMs:  float64(best.Nanoseconds()) / 1e6,
+		Speedup: speedup,
+	}
+}
+
+// emit writes the report to path, staging through a temp file and renaming
+// so a failed run never leaves a partial JSON behind. "-" prints to stdout.
+func emit(path string, report any) error {
+	js, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	js = append(js, '\n')
-	if *out != "-" {
-		if err := os.WriteFile(*out, js, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s (%d metagraphs, GOMAXPROCS=%d)\n", *out, len(ms), rep.GoMaxProcs)
-	} else {
-		os.Stdout.Write(js)
+	if path == "-" {
+		_, err := os.Stdout.Write(js)
+		return err
 	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(js); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

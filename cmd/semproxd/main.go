@@ -1,0 +1,172 @@
+// Command semproxd serves semantic proximity queries over HTTP — the
+// online half of the paper's framework (Fig. 3) behind a deployable
+// binary. It either runs the offline pipeline itself (generate dataset →
+// mine → match → train) or starts instantly from an engine snapshot, and
+// can write a snapshot after training so the next start skips the offline
+// phase entirely.
+//
+// Examples:
+//
+//	# Offline build at startup, then serve on :8080 and persist the
+//	# trained engine for the next start.
+//	semproxd -dataset linkedin -users 400 -save engine.snap
+//
+//	# Serve a previously trained engine; no mining, matching or training.
+//	semproxd -snapshot engine.snap -addr :9090
+//
+//	# Query it.
+//	curl 'localhost:8080/query?class=college&query=user-17&k=5'
+//	curl -d '{"class":"college","queries":["user-17","user-3"],"k":5}' localhost:8080/query
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	semprox "repro"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("semproxd: ")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		snapshot   = flag.String("snapshot", "", "start from this engine snapshot instead of training")
+		save       = flag.String("save", "", "write the trained engine snapshot here before serving")
+		dsName     = flag.String("dataset", "linkedin", "built-in dataset: linkedin or facebook (ignored with -snapshot)")
+		users      = flag.Int("users", 400, "user count for built-in datasets (ignored with -snapshot)")
+		classes    = flag.String("classes", "", "comma-separated classes to train (default: all dataset classes; ignored with -snapshot)")
+		candidates = flag.Int("candidates", 0, "if >0, use dual-stage training with this many candidates (ignored with -snapshot)")
+		nExamples  = flag.Int("examples", 200, "training triplets to sample per class (ignored with -snapshot)")
+		maxNodes   = flag.Int("max-nodes", 4, "metagraph size cap (ignored with -snapshot)")
+		minSupport = flag.Int("min-support", 5, "MNI support threshold for mining (ignored with -snapshot)")
+		workers    = flag.Int("workers", 0, "matching/query workers (<1 = all CPUs; overrides a snapshot's setting)")
+		seed       = flag.Int64("seed", 1, "random seed (ignored with -snapshot)")
+	)
+	flag.Parse()
+
+	eng, err := buildEngine(*snapshot, *dsName, *users, *classes, *candidates,
+		*nExamples, *maxNodes, *minSupport, *workers, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *save != "" {
+		if err := writeSnapshot(*save, eng); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote snapshot %s", *save)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(eng)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain
+	}()
+	log.Printf("serving %d classes on %s (%d nodes, %d metagraphs)",
+		len(eng.Classes()), *addr, eng.Graph().NumNodes(), eng.NumMetagraphs())
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// buildEngine loads a snapshot or runs the offline pipeline.
+func buildEngine(snapshot, dsName string, users int, classes string, candidates,
+	nExamples, maxNodes, minSupport, workers int, seed int64) (*semprox.Engine, error) {
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		start := time.Now()
+		eng, err := semprox.LoadEngine(f)
+		if err != nil {
+			return nil, err
+		}
+		// The snapshot carries the saving host's worker count; shard
+		// queries for THIS host instead.
+		eng.SetWorkers(workers)
+		log.Printf("loaded snapshot %s in %.2fs: %d metagraphs, classes %v",
+			snapshot, time.Since(start).Seconds(), eng.NumMetagraphs(), eng.Classes())
+		return eng, nil
+	}
+
+	var ds *dataset.Dataset
+	switch dsName {
+	case "linkedin":
+		ds = dataset.LinkedIn(dataset.Config{Users: users, Seed: seed, NoiseRate: 0.05})
+	case "facebook":
+		ds = dataset.Facebook(dataset.Config{Users: users, Seed: seed, NoiseRate: 0.05})
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dsName)
+	}
+	opts := semprox.DefaultOptions()
+	opts.Mining = mining.Options{MaxNodes: maxNodes, MinSupport: minSupport}
+	opts.Workers = workers
+	opts.Train.Restarts = 3
+	opts.Train.MaxIters = 400
+
+	start := time.Now()
+	eng, err := semprox.NewEngine(ds.G, "user", opts)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("mined %d metagraphs from %s (%d nodes) in %.1fs",
+		eng.NumMetagraphs(), ds.Name, ds.G.NumNodes(), time.Since(start).Seconds())
+
+	names := ds.ClassNames()
+	if classes != "" {
+		names = strings.Split(classes, ",")
+	}
+	for _, class := range names {
+		class = strings.TrimSpace(class)
+		labels, ok := ds.Classes[class]
+		if !ok {
+			return nil, fmt.Errorf("dataset %s has no class %q (have %v)", ds.Name, class, ds.ClassNames())
+		}
+		examples := semprox.MakeExamples(labels, labels.Queries(), ds.Users(), nExamples, seed)
+		start := time.Now()
+		if candidates > 0 {
+			eng.TrainDualStage(class, examples, candidates)
+		} else {
+			eng.Train(class, examples)
+		}
+		log.Printf("trained %q on %d examples in %.1fs", class, len(examples), time.Since(start).Seconds())
+	}
+	return eng, nil
+}
+
+// writeSnapshot saves the engine atomically (temp file + rename), so a
+// crash mid-write never leaves a truncated snapshot behind.
+func writeSnapshot(path string, eng *semprox.Engine) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".semproxd-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := eng.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -151,6 +151,12 @@ func NewEngine(g *graph.Graph, anchorType string, opts Options) (*Engine, error)
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *Graph { return e.g }
 
+// SetWorkers overrides Options.Workers (values < 1 mean one worker per
+// CPU). A snapshot-loaded engine carries the worker count of the host
+// that saved it; the serving host retunes it here. Call before serving —
+// like Train, it must not race with queries or training.
+func (e *Engine) SetWorkers(n int) { e.opts.Workers = n }
+
 // Metagraphs returns the mined metagraph set M (do not modify).
 func (e *Engine) Metagraphs() []*Metagraph { return e.ms }
 
@@ -276,13 +282,56 @@ func (e *Engine) Weights(class string) []float64 {
 
 // Query ranks the nodes closest to q under the named class and returns
 // the top k (k <= 0 returns all candidates). The class must be trained.
+// The candidate scan shards over Options.Workers goroutines with per-shard
+// top-k heaps (long candidate lists dominate online latency), and the
+// sharded result is identical to the serial scan for every worker count.
 // Safe for concurrent use once the class is trained.
 func (e *Engine) Query(class string, q NodeID, k int) ([]Ranked, error) {
 	cm := e.class(class)
 	if cm == nil {
 		return nil, fmt.Errorf("semprox: class %q not trained", class)
 	}
-	return core.RankTop(cm.ix, cm.model.W, q, k), nil
+	return core.RankTopSharded(cm.ix, cm.model.W, q, k, e.opts.Workers), nil
+}
+
+// QueryBatch answers many queries of one class in a single call, fanning
+// the queries out over Options.Workers goroutines. Each query runs the
+// serial scan — cross-query parallelism already saturates the workers, and
+// per-query results are identical either way. Results align with qs. Safe
+// for concurrent use once the class is trained.
+func (e *Engine) QueryBatch(class string, qs []NodeID, k int) ([][]Ranked, error) {
+	cm := e.class(class)
+	if cm == nil {
+		return nil, fmt.Errorf("semprox: class %q not trained", class)
+	}
+	out := make([][]Ranked, len(qs))
+	workers := index.Workers(e.opts.Workers)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			out[i] = core.RankTop(cm.ix, cm.model.W, q, k)
+		}
+		return out, nil
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = core.RankTop(cm.ix, cm.model.W, qs[i], k)
+			}
+		}()
+	}
+	for i := range qs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out, nil
 }
 
 // Proximity evaluates π(x, y) under the named class's learned weights.

@@ -35,6 +35,21 @@ type Ranked struct {
 	Score float64
 }
 
+// rankedBetter is the total ranking order: descending score with ties
+// broken by ascending node id. Node ids are distinct within one ranking, so
+// the order has no equal elements and every sort under it is deterministic.
+func rankedBetter(a, b Ranked) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Node < b.Node
+}
+
+// sortRanked orders rs by rankedBetter.
+func sortRanked(rs []Ranked) {
+	sort.Slice(rs, func(i, j int) bool { return rankedBetter(rs[i], rs[j]) })
+}
+
 // Rank returns the candidate nodes for query q ordered by descending MGP
 // (ties broken by ascending node id for determinism). Candidates are the
 // nodes that co-occur symmetrically with q in at least one instance — every
@@ -53,12 +68,7 @@ func Rank(ix *index.Index, w []float64, q graph.NodeID) []Ranked {
 			out = append(out, Ranked{v, s})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Node < out[j].Node
-	})
+	sortRanked(out)
 	return out
 }
 

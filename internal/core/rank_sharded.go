@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// Sharded online ranking. RankTop scans every candidate of the query
+// serially; on graphs dense enough to matter (the "heavy traffic" regime of
+// the ROADMAP) that scan is the whole online cost of Fig. 3. The candidate
+// set is embarrassingly parallel: shards of the partner list are scored
+// independently, each shard keeps its local top k in a bounded heap, and
+// the shard winners merge into the global top k. Every arithmetic step is
+// identical to the serial path and the final order is the same total order
+// Rank uses, so the sharded ranking is element-for-element identical to the
+// serial one for every worker count.
+
+// shardMinPartners is the candidate count below which sharding cannot pay
+// for its goroutine fan-out; shorter partner lists fall back to the serial
+// scan (which is also the k <= 0 reference order).
+const shardMinPartners = 32
+
+// RankTopSharded is RankTop with the candidate scan fanned out over the
+// given number of workers (index.Workers-normalized; values <= 1 and short
+// candidate lists use the serial scan). The result is identical to
+// RankTop(ix, w, q, k) for every worker count.
+func RankTopSharded(ix *index.Index, w []float64, q graph.NodeID, k int, workers int) []Ranked {
+	partners := ix.Partners(q)
+	workers = index.Workers(workers)
+	if workers > len(partners) {
+		workers = len(partners)
+	}
+	if workers <= 1 || len(partners) < shardMinPartners {
+		return RankTop(ix, w, q, k)
+	}
+
+	qDot := ix.NodeVec(q).Dot(w)
+	shards := make([][]Ranked, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo := s * len(partners) / workers
+		hi := (s + 1) * len(partners) / workers
+		wg.Add(1)
+		go func(s int, chunk []graph.NodeID) {
+			defer wg.Done()
+			shards[s] = rankShard(ix, w, q, qDot, chunk, k)
+		}(s, partners[lo:hi])
+	}
+	wg.Wait()
+
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+	}
+	out := make([]Ranked, 0, total)
+	for _, sh := range shards {
+		out = append(out, sh...)
+	}
+	// Each shard's top k contains every global top-k element that lives in
+	// that shard, so sorting the union under the ranking order and cutting
+	// at k reproduces the serial result exactly.
+	sortRanked(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// rankShard scores one chunk of the candidate list. With a positive k it
+// keeps only the chunk's k best in a bounded heap; k <= 0 keeps everything
+// (the caller wants the full ranking).
+func rankShard(ix *index.Index, w []float64, q graph.NodeID, qDot float64, chunk []graph.NodeID, k int) []Ranked {
+	if k <= 0 {
+		out := make([]Ranked, 0, len(chunk))
+		for _, v := range chunk {
+			if r, ok := scorePartner(ix, w, q, qDot, v); ok {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	// A shard can never keep more than its chunk, so an oversized k (a
+	// client asking for "everything") must not size the allocation.
+	capHint := k
+	if capHint > len(chunk) {
+		capHint = len(chunk)
+	}
+	h := make(worstHeap, 0, capHint)
+	for _, v := range chunk {
+		r, ok := scorePartner(ix, w, q, qDot, v)
+		if !ok {
+			continue
+		}
+		if len(h) < k {
+			h.push(r)
+		} else if rankedBetter(r, h[0]) {
+			h[0] = r
+			h.siftDown(0)
+		}
+	}
+	return h
+}
+
+// scorePartner evaluates one candidate exactly as the serial Rank loop
+// does, reporting false for the candidates Rank drops (zero denominator or
+// non-positive score).
+func scorePartner(ix *index.Index, w []float64, q graph.NodeID, qDot float64, v graph.NodeID) (Ranked, bool) {
+	den := qDot + ix.NodeVec(v).Dot(w)
+	if den <= 0 {
+		return Ranked{}, false
+	}
+	s := 2 * ix.PairVec(q, v).Dot(w) / den
+	if s <= 0 {
+		return Ranked{}, false
+	}
+	return Ranked{v, s}, true
+}
+
+// worstHeap is a bounded top-k heap with the WORST kept candidate at the
+// root (a min-heap under the ranking order), so replacing the loser when a
+// better candidate arrives is one root swap plus a sift. Hand-rolled
+// instead of container/heap to keep the per-query hot loop free of
+// interface boxing.
+type worstHeap []Ranked
+
+// push appends r and restores the heap property.
+func (h *worstHeap) push(r Ranked) {
+	*h = append(*h, r)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !rankedBetter((*h)[parent], (*h)[i]) {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after the root was replaced.
+func (h worstHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && rankedBetter(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && rankedBetter(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/match"
+	"repro/internal/metagraph"
+)
+
+// denseRandomIndex builds a random user/attribute graph with few attribute
+// nodes, so partner lists grow to hundreds of candidates and the sharded
+// scan actually fans out (shardMinPartners is far exceeded).
+func denseRandomIndex(rng *rand.Rand) (*graph.Graph, *index.Index) {
+	b := graph.NewBuilder()
+	b.Types().Register("user")
+	b.Types().Register("a")
+	b.Types().Register("b")
+	nu := 64 + rng.Intn(128)
+	na := 2 + rng.Intn(3)
+	users := make([]graph.NodeID, nu)
+	for i := range users {
+		users[i] = b.AddNode("user", "")
+	}
+	attrsA := make([]graph.NodeID, na)
+	attrsB := make([]graph.NodeID, na)
+	for i := 0; i < na; i++ {
+		attrsA[i] = b.AddNode("a", "")
+		attrsB[i] = b.AddNode("b", "")
+	}
+	for _, u := range users {
+		b.AddEdge(u, attrsA[rng.Intn(na)])
+		if rng.Intn(4) > 0 {
+			b.AddEdge(u, attrsB[rng.Intn(na)])
+		}
+	}
+	g := b.MustBuild()
+
+	tu, ta, tb := g.Types().ID("user"), g.Types().ID("a"), g.Types().ID("b")
+	ms := []*metagraph.Metagraph{
+		metagraph.MustNew([]graph.TypeID{tu, ta, tu}, []metagraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}),
+		metagraph.MustNew([]graph.TypeID{tu, tb, tu}, []metagraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}),
+	}
+	bld := index.NewBuilder(len(ms))
+	matcher := match.NewSymISO(g)
+	for i, m := range ms {
+		bld.AddMetagraph(i, m, matcher)
+	}
+	return g, bld.Build()
+}
+
+// TestRankTopShardedMatchesSerial is the acceptance property: for random
+// graphs, random weights, every worker count and every k, the sharded scan
+// returns rankings identical (node AND bit-for-bit score) to the serial
+// reference.
+func TestRankTopShardedMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, ix := denseRandomIndex(rng)
+		w := make([]float64, ix.NumMeta())
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		users := g.NodesOfType(g.Types().ID("user"))
+		for trial := 0; trial < 5; trial++ {
+			q := users[rng.Intn(len(users))]
+			if len(ix.Partners(q)) < shardMinPartners {
+				t.Fatalf("seed %d: partner list too short to exercise sharding", seed)
+			}
+			for _, k := range []int{0, 1, 3, 10, 1 << 20} {
+				want := RankTop(ix, w, q, k)
+				for _, workers := range []int{1, 2, 3, 4, 8, 16, 33} {
+					got := RankTopSharded(ix, w, q, k, workers)
+					if len(got) != len(want) {
+						t.Fatalf("seed %d q=%d k=%d workers=%d: %d results, want %d",
+							seed, q, k, workers, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("seed %d q=%d k=%d workers=%d: result[%d] = %+v, want %+v",
+								seed, q, k, workers, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRankTopShardedZeroWeights pins the degenerate cases: an all-zero
+// weight vector scores every candidate out, and a query with no partners
+// returns an empty ranking for every worker count.
+func TestRankTopShardedZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, ix := denseRandomIndex(rng)
+	users := g.NodesOfType(g.Types().ID("user"))
+	zero := make([]float64, ix.NumMeta())
+	for _, workers := range []int{1, 4, 16} {
+		if got := RankTopSharded(ix, zero, users[0], 10, workers); len(got) != 0 {
+			t.Fatalf("workers=%d: zero weights ranked %d nodes", workers, len(got))
+		}
+		// An attribute node is never a symmetric anchor: no partners.
+		attr := g.NodesOfType(g.Types().ID("a"))[0]
+		w := UniformWeights(ix.NumMeta())
+		if got := RankTopSharded(ix, w, attr, 10, workers); len(got) != 0 {
+			t.Fatalf("workers=%d: partnerless query ranked %d nodes", workers, len(got))
+		}
+	}
+}

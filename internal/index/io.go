@@ -1,6 +1,7 @@
 package index
 
 import (
+	"bytes"
 	"cmp"
 	"encoding/gob"
 	"fmt"
@@ -71,6 +72,24 @@ func Read(r io.Reader) (*Index, error) {
 		mxy:      csr[PairKey]{keys: s.MxyKeys, off: s.MxyOff, ent: s.MxyEnt},
 		partners: &partnerTable{},
 	}, nil
+}
+
+// Marshal serializes ix to a byte slice. Engine snapshots embed many
+// indices (one per matched metagraph plus one per trained class) inside a
+// single outer stream, and a length-delimited []byte per index keeps each
+// one independently decodable.
+func Marshal(ix *Index) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, ix); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a byte slice produced by Marshal, running the same
+// structural validation as Read.
+func Unmarshal(b []byte) (*Index, error) {
+	return Read(bytes.NewReader(b))
 }
 
 // checkCSR validates the invariants of one serialized table that reads

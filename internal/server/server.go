@@ -1,0 +1,369 @@
+// Package server exposes a semprox.Engine over HTTP/JSON — the online
+// serving layer of the ROADMAP's "heavy traffic" north star. Endpoints:
+//
+//	GET  /healthz    liveness plus graph/class inventory
+//	GET  /classes    trained class names
+//	GET  /query      one ranked query (?class=&query=&k=)
+//	POST /query      one query {"class","query","k"} or a batch
+//	                 {"class","queries":[...],"k"} in a single request
+//	GET  /proximity  one pair score (?class=&x=&y=)
+//	POST /proximity  one pair score {"class","x","y"}
+//
+// Every error is structured JSON — {"error":{"code","message"}} — with a
+// 4xx status for client mistakes (unknown class or node, malformed JSON,
+// oversized batch), so callers never parse free-text failures. Handlers
+// only use the engine operations documented as safe for concurrent use, so
+// the server can keep answering while new classes train in the background.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	semprox "repro"
+)
+
+// MaxBatch bounds the queries accepted by one batched /query request; a
+// larger batch is a client error, not a way to monopolize the process.
+const MaxBatch = 1024
+
+// maxBodyBytes bounds a request body (a full batch of long node names fits
+// comfortably).
+const maxBodyBytes = 1 << 20
+
+// defaultK is the result count when a request leaves k unset.
+const defaultK = 10
+
+// Server routes HTTP requests to one engine.
+type Server struct {
+	eng *semprox.Engine
+	mux *http.ServeMux
+}
+
+// New wraps an engine in an HTTP handler.
+func New(eng *semprox.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/classes", s.handleClasses)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/proximity", s.handleProximity)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError is the structured error body of every non-2xx response.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// httpError carries a status and structured body up from helpers.
+type httpError struct {
+	status int
+	apiError
+}
+
+func (e *httpError) Error() string { return e.Message }
+
+// errBadRequest builds a 400 with code "bad_request".
+func errBadRequest(format string, args ...any) *httpError {
+	return &httpError{http.StatusBadRequest, apiError{"bad_request", fmt.Sprintf(format, args...)}}
+}
+
+// errNotFound builds a 404 with the given code.
+func errNotFound(code, format string, args ...any) *httpError {
+	return &httpError{http.StatusNotFound, apiError{code, fmt.Sprintf(format, args...)}}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
+}
+
+// writeErr writes err as a structured error response.
+func writeErr(w http.ResponseWriter, err *httpError) {
+	writeJSON(w, err.status, struct {
+		Error apiError `json:"error"`
+	}{err.apiError})
+}
+
+// methodCheck 405s anything but the allowed methods.
+func methodCheck(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
+	for _, m := range allowed {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	writeJSON(w, http.StatusMethodNotAllowed, struct {
+		Error apiError `json:"error"`
+	}{apiError{"method_not_allowed", fmt.Sprintf("method %s not allowed on %s", r.Method, r.URL.Path)}})
+	return false
+}
+
+// decodeStrict decodes one JSON object, rejecting unknown fields, trailing
+// garbage and oversized bodies with client errors.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) *httpError {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return errBadRequest("request body exceeds %d bytes", maxBodyBytes)
+		}
+		return errBadRequest("malformed JSON: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return errBadRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// resolveClass 404s for classes the engine has not trained.
+func (s *Server) resolveClass(class string) *httpError {
+	if class == "" {
+		return errBadRequest("missing class")
+	}
+	for _, c := range s.eng.Classes() {
+		if c == class {
+			return nil
+		}
+	}
+	return errNotFound("class_not_found", "class %q not trained (have %v)", class, s.eng.Classes())
+}
+
+// resolveNode maps a node name to its id, 404ing unknown names.
+func (s *Server) resolveNode(field, name string) (semprox.NodeID, *httpError) {
+	if name == "" {
+		return semprox.InvalidNode, errBadRequest("missing %s", field)
+	}
+	id := s.eng.Graph().NodeByName(name)
+	if id == semprox.InvalidNode {
+		return semprox.InvalidNode, errNotFound("node_not_found", "node %q not in graph", name)
+	}
+	return id, nil
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status     string   `json:"status"`
+	Nodes      int      `json:"nodes"`
+	Edges      int      `json:"edges"`
+	Types      int      `json:"types"`
+	Metagraphs int      `json:"metagraphs"`
+	Classes    []string `json:"classes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	g := s.eng.Graph()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		Types:      g.NumTypes(),
+		Metagraphs: s.eng.NumMetagraphs(),
+		Classes:    s.eng.Classes(),
+	})
+}
+
+func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Classes []string `json:"classes"`
+	}{s.eng.Classes()})
+}
+
+// queryRequest is the /query body: exactly one of Query (single) or
+// Queries (batch) must be set.
+type queryRequest struct {
+	Class   string   `json:"class"`
+	Query   string   `json:"query,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+	K       int      `json:"k,omitempty"`
+}
+
+// rankedResult is one entry of a ranking.
+type rankedResult struct {
+	Node  int32   `json:"node"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// queryResult is the ranking of one query.
+type queryResult struct {
+	Query   string         `json:"query"`
+	Results []rankedResult `json:"results"`
+}
+
+// batchResult is the /query response for a batched request.
+type batchResult struct {
+	Class   string        `json:"class"`
+	K       int           `json:"k"`
+	Results []queryResult `json:"results"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	var req queryRequest
+	if r.Method == http.MethodGet {
+		req.Class = r.URL.Query().Get("class")
+		req.Query = r.URL.Query().Get("query")
+		if kStr := r.URL.Query().Get("k"); kStr != "" {
+			k, err := strconv.Atoi(kStr)
+			if err != nil {
+				writeErr(w, errBadRequest("bad k %q", kStr))
+				return
+			}
+			req.K = k
+		}
+	} else if herr := decodeStrict(w, r, &req); herr != nil {
+		writeErr(w, herr)
+		return
+	}
+	// k is a client-facing knob: 0 means "the default", and negative
+	// values are rejected rather than inheriting the engine's internal
+	// "k <= 0 returns every candidate" convention — an unbounded response
+	// a client can't ask for by accident.
+	if req.K < 0 {
+		writeErr(w, errBadRequest("k must be >= 0, got %d", req.K))
+		return
+	}
+	if req.K == 0 {
+		req.K = defaultK
+	}
+	if herr := s.resolveClass(req.Class); herr != nil {
+		writeErr(w, herr)
+		return
+	}
+	switch {
+	case req.Query != "" && len(req.Queries) > 0:
+		writeErr(w, errBadRequest("set query or queries, not both"))
+	case req.Query != "":
+		s.querySingle(w, req)
+	case len(req.Queries) > 0:
+		s.queryBatch(w, req)
+	default:
+		writeErr(w, errBadRequest("missing query"))
+	}
+}
+
+// querySingle answers one query through the sharded scan.
+func (s *Server) querySingle(w http.ResponseWriter, req queryRequest) {
+	q, herr := s.resolveNode("query", req.Query)
+	if herr != nil {
+		writeErr(w, herr)
+		return
+	}
+	ranked, err := s.eng.Query(req.Class, q, req.K)
+	if err != nil {
+		writeErr(w, errNotFound("class_not_found", "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResult{
+		Class:   req.Class,
+		K:       req.K,
+		Results: []queryResult{s.render(req.Query, ranked)},
+	})
+}
+
+// queryBatch resolves every query name, then answers them in one
+// QueryBatch call that fans out over the engine's workers.
+func (s *Server) queryBatch(w http.ResponseWriter, req queryRequest) {
+	if len(req.Queries) > MaxBatch {
+		writeErr(w, errBadRequest("batch of %d queries exceeds limit %d", len(req.Queries), MaxBatch))
+		return
+	}
+	qs := make([]semprox.NodeID, len(req.Queries))
+	for i, name := range req.Queries {
+		q, herr := s.resolveNode(fmt.Sprintf("queries[%d]", i), name)
+		if herr != nil {
+			writeErr(w, herr)
+			return
+		}
+		qs[i] = q
+	}
+	rankings, err := s.eng.QueryBatch(req.Class, qs, req.K)
+	if err != nil {
+		writeErr(w, errNotFound("class_not_found", "%v", err))
+		return
+	}
+	out := batchResult{Class: req.Class, K: req.K, Results: make([]queryResult, len(rankings))}
+	for i, ranked := range rankings {
+		out.Results[i] = s.render(req.Queries[i], ranked)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// render converts one engine ranking to its JSON shape.
+func (s *Server) render(query string, ranked []semprox.Ranked) queryResult {
+	g := s.eng.Graph()
+	out := queryResult{Query: query, Results: make([]rankedResult, len(ranked))}
+	for i, r := range ranked {
+		out.Results[i] = rankedResult{Node: int32(r.Node), Name: g.Name(r.Node), Score: r.Score}
+	}
+	return out
+}
+
+// proximityRequest is the /proximity body.
+type proximityRequest struct {
+	Class string `json:"class"`
+	X     string `json:"x"`
+	Y     string `json:"y"`
+}
+
+func (s *Server) handleProximity(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	var req proximityRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		req.Class, req.X, req.Y = q.Get("class"), q.Get("x"), q.Get("y")
+	} else if herr := decodeStrict(w, r, &req); herr != nil {
+		writeErr(w, herr)
+		return
+	}
+	if herr := s.resolveClass(req.Class); herr != nil {
+		writeErr(w, herr)
+		return
+	}
+	x, herr := s.resolveNode("x", req.X)
+	if herr != nil {
+		writeErr(w, herr)
+		return
+	}
+	y, herr := s.resolveNode("y", req.Y)
+	if herr != nil {
+		writeErr(w, herr)
+		return
+	}
+	p, err := s.eng.Proximity(req.Class, x, y)
+	if err != nil {
+		writeErr(w, errNotFound("class_not_found", "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Class     string  `json:"class"`
+		X         string  `json:"x"`
+		Y         string  `json:"y"`
+		Proximity float64 `json:"proximity"`
+	}{req.Class, req.X, req.Y, p})
+}
