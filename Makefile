@@ -1,14 +1,25 @@
 # Tier-1 verification plus the invariants this repo adds on top:
-#   make ci  — vet, build, race-enabled tests, the per-package coverage
-#              floor, and a bench smoke run that cross-checks parallel vs
-#              serial results on both the offline index build and the
-#              online sharded top-k scan.
+#   make ci  — lint (gofmt + vet), build, race-enabled tests, the
+#              per-package coverage floor, and a bench smoke run that
+#              cross-checks parallel vs serial results on the offline
+#              index build and the online sharded top-k scan, and runs a
+#              live ApplyUpdate cycle cross-checked against a from-scratch
+#              rebuild.
 GO ?= go
 COVER_FLOOR ?= 80
 
-.PHONY: ci vet build test cover bench-smoke bench
+.PHONY: ci lint vet build test cover bench-smoke bench
 
-ci: vet build test cover bench-smoke
+ci: lint build test cover bench-smoke
+
+# gofmt must be a no-op and vet must be clean; staticcheck runs too when
+# the host has it installed (the CI image and the dev container may not).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipped"; fi
 
 vet:
 	$(GO) vet ./...
@@ -33,12 +44,14 @@ cover:
 	done
 
 # Quick end-to-end bench: verifies identical parallel/serial results for
-# the offline build AND the online sharded scan, printing timings without
-# touching the committed BENCH_*.json files. Exits non-zero on any drift.
+# the offline build AND the online sharded scan, runs one live
+# ApplyUpdate cycle whose patched index must match a from-scratch rebuild
+# byte-for-byte, and prints timings without touching the committed
+# BENCH_*.json files. Exits non-zero on any drift.
 bench-smoke:
-	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out - -online-out -
+	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out - -online-out - -update-out -
 
-# Full benchmark; rewrites BENCH_offline.json and BENCH_online.json
-# (commit them to extend the perf trajectory).
+# Full benchmark; rewrites BENCH_offline.json, BENCH_online.json and
+# BENCH_update.json (commit them to extend the perf trajectory).
 bench:
 	$(GO) run ./cmd/bench

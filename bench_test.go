@@ -2,6 +2,7 @@ package semprox
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -379,4 +380,89 @@ func BenchmarkEngineEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// communityGraph builds a community-structured social graph: many small
+// clusters of users sharing cluster-local schools, employers and hobbies.
+// Unlike the synthetic LinkedIn generator (whose attribute hubs make the
+// whole graph reachable in 4 hops), this is the shape live updates are
+// built for: a delta lands in one community and the re-match neighborhood
+// stays a tiny fraction of the graph.
+func communityGraph(communities, usersPer int) *Graph {
+	b := NewGraphBuilder()
+	for _, tn := range []string{"user", "school", "employer", "hobby"} {
+		b.Types().Register(tn)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for c := 0; c < communities; c++ {
+		school := b.AddNodeOnce("school", fmt.Sprintf("school-%d", c))
+		emp := b.AddNodeOnce("employer", fmt.Sprintf("employer-%d", c))
+		hob := b.AddNodeOnce("hobby", fmt.Sprintf("hobby-%d", c))
+		for u := 0; u < usersPer; u++ {
+			user := b.AddNode("user", fmt.Sprintf("user-%d-%d", c, u))
+			b.AddEdge(user, school)
+			if rng.Intn(2) == 0 {
+				b.AddEdge(user, emp)
+			}
+			if rng.Intn(2) == 0 {
+				b.AddEdge(user, hob)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// BenchmarkApplyUpdate compares serving a graph mutation incrementally
+// (ApplyUpdate: copy-on-write graph, neighborhood re-match, index row
+// patching) against the only alternative the pre-update engine had:
+// rebuilding the offline pipeline (mine → match → train) from scratch.
+// Each delta adds one user to one community of a 60-community graph —
+// the re-match neighborhood is ~1.5% of the nodes.
+func BenchmarkApplyUpdate(b *testing.B) {
+	const communities, usersPer = 60, 10
+	g := communityGraph(communities, usersPer)
+	opts := DefaultOptions()
+	opts.Mining = mining.Options{MaxNodes: 4, MinSupport: 5}
+	opts.Train.Restarts = 1
+	opts.Train.MaxIters = 60
+	var examples []Example
+	for c := 0; c < 10; c++ {
+		examples = append(examples, Example{
+			Q: g.NodeByName(fmt.Sprintf("user-%d-0", c)),
+			X: g.NodeByName(fmt.Sprintf("user-%d-1", c)),
+			Y: g.NodeByName(fmt.Sprintf("user-%d-2", (c+1)%communities)),
+		})
+	}
+	build := func() *Engine {
+		eng, err := NewEngine(g, "user", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Train("community", examples)
+		return eng
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		eng := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fresh := NodeID(eng.Graph().NumNodes())
+			_, err := eng.ApplyUpdate(Delta{
+				Nodes: []DeltaNode{{Type: "user", Value: fmt.Sprintf("bench-user-%d", i)}},
+				Edges: []Edge{
+					{U: fresh, V: g.NodeByName(fmt.Sprintf("school-%d", i%communities))},
+					{U: fresh, V: g.NodeByName(fmt.Sprintf("user-%d-0", i%communities))},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Compact()
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			build()
+		}
+	})
 }

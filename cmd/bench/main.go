@@ -1,4 +1,4 @@
-// Command bench measures both halves of the pipeline and emits
+// Command bench measures the pipeline end to end and emits
 // machine-readable perf trajectories:
 //
 //   - offline (BENCH_offline.json): mine → match → index across worker
@@ -7,6 +7,11 @@
 //   - online (BENCH_online.json): the sharded top-k candidate scan behind
 //     /query across worker counts, cross-checked element-for-element
 //     against the serial ranking for every query first.
+//   - update (BENCH_update.json): one live ApplyUpdate cycle through the
+//     public engine API, plus the incremental neighborhood re-match vs a
+//     full from-scratch re-match on a community-structured graph — the
+//     patched index is cross-checked byte-for-byte against the scratch
+//     build before timings are reported.
 //
 // Any failure — a drifted index, a drifted ranking, an unwritable output —
 // exits non-zero without touching the output files (writes are staged to a
@@ -16,6 +21,7 @@
 //
 //	go run ./cmd/bench [-users 200] [-reps 3] [-workers 1,2,4,8] [-k 10]
 //	                   [-out BENCH_offline.json] [-online-out BENCH_online.json]
+//	                   [-update-out BENCH_update.json]
 package main
 
 import (
@@ -31,8 +37,10 @@ import (
 	"strings"
 	"time"
 
+	semprox "repro"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/match"
 	"repro/internal/metagraph"
@@ -92,6 +100,7 @@ func runBench() error {
 	k := flag.Int("k", 10, "top-k for the online benchmark")
 	out := flag.String("out", "BENCH_offline.json", "offline output path ('-' for stdout only)")
 	onlineOut := flag.String("online-out", "BENCH_online.json", "online output path ('-' for stdout only)")
+	updateOut := flag.String("update-out", "BENCH_update.json", "live-update output path ('-' for stdout only)")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersFlag)
@@ -116,10 +125,17 @@ func runBench() error {
 	if err != nil {
 		return err
 	}
+	update, err := benchUpdate(*reps)
+	if err != nil {
+		return err
+	}
 	if err := emit(*out, offline); err != nil {
 		return err
 	}
-	return emit(*onlineOut, online)
+	if err := emit(*onlineOut, online); err != nil {
+		return err
+	}
+	return emit(*updateOut, update)
 }
 
 // parseWorkers parses the -workers list, prepending the serial baseline
@@ -307,4 +323,152 @@ func emit(path string, report any) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// updateReport is the BENCH_update.json shape.
+type updateReport struct {
+	Benchmark     string    `json:"benchmark"`
+	Communities   int       `json:"communities"`
+	Nodes         int       `json:"nodes"`
+	Edges         int       `json:"edges"`
+	Metagraphs    int       `json:"metagraphs"`
+	GoMaxProcs    int       `json:"gomaxprocs"`
+	Reps          int       `json:"reps"`
+	Timestamp     time.Time `json:"timestamp"`
+	IncrementalNs int64     `json:"incremental_ns"`
+	RebuildNs     int64     `json:"rebuild_ns"`
+	Speedup       float64   `json:"speedup_vs_rebuild"`
+}
+
+// updateGraph mirrors the community-structured bench graph of
+// BenchmarkApplyUpdate: clusters of users around cluster-local attribute
+// nodes, the regime where a delta's re-match neighborhood stays a small
+// fraction of the graph.
+func updateGraph(communities, usersPer int) *graph.Graph {
+	b := graph.NewBuilder()
+	for _, tn := range []string{"user", "school", "employer", "hobby"} {
+		b.Types().Register(tn)
+	}
+	for c := 0; c < communities; c++ {
+		school := b.AddNodeOnce("school", fmt.Sprintf("school-%d", c))
+		emp := b.AddNodeOnce("employer", fmt.Sprintf("employer-%d", c))
+		for u := 0; u < usersPer; u++ {
+			user := b.AddNode("user", fmt.Sprintf("user-%d-%d", c, u))
+			b.AddEdge(user, school)
+			if u%2 == 0 {
+				b.AddEdge(user, emp)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// benchUpdate runs one live ApplyUpdate cycle through the public engine
+// API, cross-checks the incremental index maintenance byte-for-byte
+// against a from-scratch re-match of the final graph, and times
+// incremental vs full re-match.
+func benchUpdate(reps int) (*updateReport, error) {
+	const communities, usersPer = 60, 10
+	g := updateGraph(communities, usersPer)
+	anchor := g.Types().ID("user")
+	pats := mining.ProximityFilter(mining.Mine(g, mining.Options{MaxNodes: 4, MinSupport: 5}), anchor)
+	ms := mining.Metagraphs(pats)
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("update: no metagraphs mined from the community graph")
+	}
+	mkMatcher := func(gr *graph.Graph) match.Matcher { return match.NewSymISO(gr) }
+
+	// The delta: one new user joining community 0.
+	delta := graph.Delta{
+		Nodes: []graph.DeltaNode{{Type: "user", Value: "update-user"}},
+		Edges: []graph.Edge{
+			{U: graph.NodeID(g.NumNodes()), V: g.NodeByName("school-0")},
+			{U: graph.NodeID(g.NumNodes()), V: g.NodeByName("user-0-0")},
+		},
+	}
+
+	// Full engine cycle: train, update, query — the exact flow semproxd's
+	// POST /update drives.
+	opts := semprox.DefaultOptions()
+	opts.Mining = mining.Options{MaxNodes: 4, MinSupport: 5}
+	opts.Train.Restarts = 1
+	opts.Train.MaxIters = 60
+	eng, err := semprox.NewEngine(g, "user", opts)
+	if err != nil {
+		return nil, err
+	}
+	eng.Train("community", []semprox.Example{
+		{Q: g.NodeByName("user-0-0"), X: g.NodeByName("user-0-1"), Y: g.NodeByName("user-1-0")},
+		{Q: g.NodeByName("user-2-0"), X: g.NodeByName("user-2-1"), Y: g.NodeByName("user-3-0")},
+	})
+	st, err := eng.ApplyUpdate(delta)
+	if err != nil {
+		return nil, fmt.Errorf("update: ApplyUpdate: %w", err)
+	}
+	if st.Epoch != 1 || st.NodesAdded != 1 || st.EdgesAdded != 2 {
+		return nil, fmt.Errorf("update: unexpected stats %+v", st)
+	}
+	eng.Compact()
+	ranked, err := eng.Query("community", eng.Graph().NodeByName("update-user"), 5)
+	if err != nil {
+		return nil, fmt.Errorf("update: query after update: %w", err)
+	}
+	if len(ranked) == 0 {
+		return nil, fmt.Errorf("update: new user has no ranked neighbors after update")
+	}
+
+	// Byte-for-byte cross-check of the incremental index maintenance.
+	parts, _ := index.MatchParts(ms, func() match.Matcher { return mkMatcher(g) }, 1)
+	ng, touched, err := g.Apply(delta)
+	if err != nil {
+		return nil, err
+	}
+	patched := make([]*index.Index, len(ms))
+	for i, m := range ms {
+		patched[i] = parts[i].WithPatch(index.RematchDelta(ng, m, mkMatcher, touched))
+	}
+	final := ng.Compact()
+	var got, want bytes.Buffer
+	if err := index.Write(&got, index.Merge(patched...)); err != nil {
+		return nil, err
+	}
+	if err := index.Write(&want, index.BuildParallel(ms, func() match.Matcher { return mkMatcher(final) }, 1)); err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		return nil, fmt.Errorf("update: incrementally patched index differs from the from-scratch build")
+	}
+
+	// Timings: patch every part incrementally vs re-match everything.
+	var incBest, rebuildBest time.Duration
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		for _, m := range ms {
+			index.RematchDelta(ng, m, mkMatcher, touched)
+		}
+		if d := time.Since(t0); incBest == 0 || d < incBest {
+			incBest = d
+		}
+		t0 = time.Now()
+		index.BuildParallel(ms, func() match.Matcher { return mkMatcher(final) }, 1)
+		if d := time.Since(t0); rebuildBest == 0 || d < rebuildBest {
+			rebuildBest = d
+		}
+	}
+	rep := &updateReport{
+		Benchmark:     "incremental_update",
+		Communities:   communities,
+		Nodes:         g.NumNodes(),
+		Edges:         g.NumEdges(),
+		Metagraphs:    len(ms),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Reps:          reps,
+		Timestamp:     time.Now().UTC(),
+		IncrementalNs: incBest.Nanoseconds(),
+		RebuildNs:     rebuildBest.Nanoseconds(),
+		Speedup:       float64(rebuildBest) / float64(incBest),
+	}
+	fmt.Printf("update  incremental=%8.2fms rebuild=%8.2fms speedup=%.1fx (epoch %d, %d rematched)\n",
+		float64(incBest.Nanoseconds())/1e6, float64(rebuildBest.Nanoseconds())/1e6, rep.Speedup, st.Epoch, st.Rematched)
+	return rep, nil
 }

@@ -17,6 +17,11 @@
 //	# Query it.
 //	curl 'localhost:8080/query?class=college&query=user-17&k=5'
 //	curl -d '{"class":"college","queries":["user-17","user-3"],"k":5}' localhost:8080/query
+//
+//	# Mutate the live graph (queries keep serving; the epoch swaps
+//	# atomically and overlays compact in the background), then inspect it.
+//	curl -d '{"nodes":[{"type":"user","name":"zoe"}],"edges":[{"u":"zoe","v":"school-3"}]}' localhost:8080/update
+//	curl localhost:8080/stats
 package main
 
 import (
@@ -70,7 +75,8 @@ func main() {
 		log.Printf("wrote snapshot %s", *save)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(eng)}
+	handler := server.New(eng)
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -79,11 +85,14 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain
 	}()
-	log.Printf("serving %d classes on %s (%d nodes, %d metagraphs)",
-		len(eng.Classes()), *addr, eng.Graph().NumNodes(), eng.NumMetagraphs())
+	log.Printf("serving %d classes on %s (%d nodes, %d metagraphs, epoch %d)",
+		len(eng.Classes()), *addr, eng.Graph().NumNodes(), eng.NumMetagraphs(), eng.Epoch())
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	// Let in-flight background compactions from /update finish before the
+	// process exits.
+	handler.WaitCompactions()
 }
 
 // buildEngine loads a snapshot or runs the offline pipeline.

@@ -2,8 +2,10 @@ package semprox
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -45,48 +47,53 @@ func DefaultOptions() Options {
 	}
 }
 
+// log1p is the count transform used when Options.LogTransform is set.
+func log1p(c float64) float64 { return math.Log1p(c) }
+
 // Engine is the end-to-end semantic proximity search system.
 //
-// Thread safety: Train and TrainDualStage mutate the engine and must not
-// run concurrently with each other or with MatchedCount. Query, Proximity,
-// Weights and Classes are safe for concurrent use at any time — including
-// while another class trains (the class table is lock-guarded and frozen
-// indices are immutable). The lazy matching cache is guarded per slot
-// (sync.Once), so the engine's internal matching fan-out installs each
-// metagraph's vectors exactly once.
+// Thread safety: the engine serves every read — Query, QueryBatch,
+// Proximity, Weights, Classes, Graph, Epoch, MatchedCount, Stats, Save —
+// from an immutable epoch published through an atomic pointer, so reads
+// are always safe, always lock-free, and always see one consistent
+// (graph, index, classes) snapshot, never a mix of two generations.
+// Writers — Train, TrainDualStage, ApplyUpdate, Compact — serialize among
+// themselves on an internal mutex, build the next epoch off the read
+// path, and swap it in atomically; they never block a reader. SetWorkers
+// is the one exception: call it before serving.
 type Engine struct {
-	g      *graph.Graph
 	anchor graph.TypeID
 	opts   Options
 
 	ms []*metagraph.Metagraph
 
+	// mu serializes epoch writers; cur is the serving epoch.
+	mu  sync.Mutex
+	cur atomic.Pointer[epoch]
+}
+
+// epoch is one immutable serving generation: the graph version, the lazy
+// matching cache, and the trained classes that go with it. Epochs are
+// never mutated after publish — writers copy what changes and share the
+// rest.
+type epoch struct {
+	g *graph.Graph
+
 	// metaIx caches the single-metagraph index of each matched metagraph;
-	// dual-stage training matches lazily and never re-matches. metaOnce
-	// guards each slot so concurrent installs agree on exactly one match.
-	// Matchers are built per worker by matchMissing (SymISO carries
-	// per-Match scratch sized to the graph, and SymISO-R style engines may
-	// carry mutable state), so none is retained on the engine.
-	metaIx   []*index.Index
-	metaOnce []sync.Once
+	// dual-stage training matches lazily and never re-matches. Matchers
+	// are built per worker by matchMissing (SymISO carries per-Match
+	// scratch sized to the graph, and SymISO-R style engines may carry
+	// mutable state), so none is retained.
+	metaIx []*index.Index
 
-	classMu sync.RWMutex
 	classes map[string]*classModel
-}
 
-// setClass installs a trained class model.
-func (e *Engine) setClass(class string, cm *classModel) {
-	e.classMu.Lock()
-	e.classes[class] = cm
-	e.classMu.Unlock()
-}
-
-// class returns the trained model of a class, or nil.
-func (e *Engine) class(class string) *classModel {
-	e.classMu.RLock()
-	cm := e.classes[class]
-	e.classMu.RUnlock()
-	return cm
+	// version is the serving epoch counter: the graph's Apply generation,
+	// persisted across snapshots. pending counts the structures (graph +
+	// indices) still carrying copy-on-write overlays that Compact would
+	// fold into flat storage.
+	version uint64
+	pending int
 }
 
 // classModel is the learned state of one semantic class.
@@ -132,29 +139,33 @@ func NewEngine(g *graph.Graph, anchorType string, opts Options) (*Engine, error)
 	if anchor == graph.InvalidType {
 		return nil, fmt.Errorf("semprox: unknown anchor type %q", anchorType)
 	}
-	e := &Engine{
-		g:       g,
-		anchor:  anchor,
-		opts:    opts,
-		classes: make(map[string]*classModel),
-	}
 	if !validEngine(opts.Engine) {
 		return nil, fmt.Errorf("semprox: unknown matching engine %q", opts.Engine)
 	}
+	e := &Engine{anchor: anchor, opts: opts}
 	patterns := mining.ProximityFilter(mining.Mine(g, opts.Mining), anchor)
 	e.ms = mining.Metagraphs(patterns)
-	e.metaIx = make([]*index.Index, len(e.ms))
-	e.metaOnce = make([]sync.Once, len(e.ms))
+	e.cur.Store(&epoch{
+		g:       g,
+		metaIx:  make([]*index.Index, len(e.ms)),
+		classes: make(map[string]*classModel),
+		version: g.Version(),
+	})
 	return e, nil
 }
 
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *Graph { return e.g }
+// Graph returns the graph of the current serving epoch.
+func (e *Engine) Graph() *Graph { return e.cur.Load().g }
+
+// Epoch returns the serving epoch counter: 0 for a freshly built engine,
+// +1 per ApplyUpdate, preserved across Save/LoadEngine.
+func (e *Engine) Epoch() uint64 { return e.cur.Load().version }
 
 // SetWorkers overrides Options.Workers (values < 1 mean one worker per
 // CPU). A snapshot-loaded engine carries the worker count of the host
 // that saved it; the serving host retunes it here. Call before serving —
-// like Train, it must not race with queries or training.
+// unlike everything else on the engine, it must not race with queries,
+// training, or updates.
 func (e *Engine) SetWorkers(n int) { e.opts.Workers = n }
 
 // Metagraphs returns the mined metagraph set M (do not modify).
@@ -163,59 +174,62 @@ func (e *Engine) Metagraphs() []*Metagraph { return e.ms }
 // NumMetagraphs returns |M|.
 func (e *Engine) NumMetagraphs() int { return len(e.ms) }
 
-// matchMissing fans the still-unmatched metagraphs of the subset out over
-// Options.Workers goroutines via index.MatchParts (one private matcher per
-// worker) and installs the parts through the per-slot Once. Returns with
-// every requested slot populated. The nil pre-scan relies on the engine
-// contract that only one Train*/matchMissing runs at a time; the Once
-// install keeps even a violation of that contract memory-safe.
-func (e *Engine) matchMissing(indices []int) {
+// matchMissing matches the still-unmatched metagraphs of the subset on
+// ep's graph, fanning them out over Options.Workers goroutines via
+// index.MatchParts (one private matcher per worker). It returns a metaIx
+// slice with every requested slot populated — ep.metaIx itself when
+// nothing was missing, a copy otherwise (epochs are immutable; the caller
+// publishes the copy). Callers hold e.mu.
+//
+// index.MatchParts cannot fail: its only returns are the part indices
+// (one per input metagraph, always populated) and the per-metagraph
+// wall-clock durations that cmd/bench reports — there is no error to
+// propagate here, only timing data this path has no use for.
+func (e *Engine) matchMissing(ep *epoch, metaIx []*index.Index, indices []int) []*index.Index {
 	pending := make([]int, 0, len(indices))
 	for _, i := range indices {
-		if e.metaIx[i] == nil {
+		if metaIx[i] == nil {
 			pending = append(pending, i)
 		}
 	}
 	if len(pending) == 0 {
-		return
+		return metaIx
 	}
 	ms := make([]*metagraph.Metagraph, len(pending))
 	for k, i := range pending {
 		ms[k] = e.ms[i]
 	}
 	parts, _ := index.MatchParts(ms, func() match.Matcher {
-		return newMatcher(e.opts.Engine, e.g)
+		return newMatcher(e.opts.Engine, ep.g)
 	}, e.opts.Workers)
+	out := append([]*index.Index(nil), metaIx...)
 	for k, i := range pending {
 		part := parts[k]
-		e.metaOnce[i].Do(func() {
-			if e.opts.LogTransform {
-				part = part.Transform(log1p)
-			}
-			e.metaIx[i] = part
-		})
+		if e.opts.LogTransform {
+			part = part.Transform(log1p)
+		}
+		out[i] = part
 	}
+	return out
 }
 
-// indexFor merges the cached vectors of a metagraph subset, matching any
-// missing metagraphs in parallel first. The merge order is the order of
-// indices, so the result is deterministic for every worker count.
-func (e *Engine) indexFor(indices []int) *index.Index {
-	e.matchMissing(indices)
+// mergeFor merges the cached vectors of a metagraph subset in the order
+// of indices, so the result is deterministic for every worker count.
+// Every requested slot must already be matched.
+func mergeFor(metaIx []*index.Index, indices []int) *index.Index {
 	parts := make([]*index.Index, len(indices))
 	for k, i := range indices {
-		parts[k] = e.metaIx[i]
+		parts[k] = metaIx[i]
 	}
 	return index.Merge(parts...)
 }
 
 // MatchedCount reports how many metagraphs have been matched so far —
 // after TrainDualStage this stays well below NumMetagraphs, which is the
-// whole point of Alg. 1. Like Train*, it must not race with in-flight
-// training.
+// whole point of Alg. 1. Safe for concurrent use (it reads one epoch).
 func (e *Engine) MatchedCount() int {
 	n := 0
-	for _, ix := range e.metaIx {
+	for _, ix := range e.cur.Load().metaIx {
 		if ix != nil {
 			n++
 		}
@@ -223,18 +237,56 @@ func (e *Engine) MatchedCount() int {
 	return n
 }
 
+// publish installs the next epoch with its pending-compaction count
+// recomputed. Callers hold e.mu.
+func (e *Engine) publish(ep *epoch) {
+	ep.pending = 0
+	if ep.g.Overlaid() {
+		ep.pending++
+	}
+	for _, ix := range ep.metaIx {
+		if ix != nil && ix.Pending() {
+			ep.pending++
+		}
+	}
+	for _, cm := range ep.classes {
+		if cm.ix.Pending() {
+			ep.pending++
+		}
+	}
+	e.cur.Store(ep)
+}
+
+// withClass copies the class table with one entry replaced.
+func withClass(classes map[string]*classModel, name string, cm *classModel) map[string]*classModel {
+	out := make(map[string]*classModel, len(classes)+1)
+	for k, v := range classes {
+		out[k] = v
+	}
+	out[name] = cm
+	return out
+}
+
 // Train learns the weight vector of the named class over ALL metagraphs,
 // matching unmatched ones in parallel (Options.Workers) on first use.
+// Queries keep serving the previous epoch until the trained class is
+// swapped in.
 func (e *Engine) Train(class string, examples []Example) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ep := e.cur.Load()
 	all := make([]int, len(e.ms))
 	for i := range all {
 		all[i] = i
 	}
-	ix := e.indexFor(all)
-	e.setClass(class, &classModel{
-		kept:  all,
-		ix:    ix,
-		model: core.Train(ix, examples, e.opts.Train),
+	metaIx := e.matchMissing(ep, ep.metaIx, all)
+	ix := mergeFor(metaIx, all)
+	cm := &classModel{kept: all, ix: ix, model: core.Train(ix, examples, e.opts.Train)}
+	e.publish(&epoch{
+		g:       ep.g,
+		metaIx:  metaIx,
+		classes: withClass(ep.classes, class, cm),
+		version: ep.version,
 	})
 }
 
@@ -243,24 +295,33 @@ func (e *Engine) Train(class string, examples []Example) {
 // metagraphs are ever matched. Each stage's matching fans out over
 // Options.Workers.
 func (e *Engine) TrainDualStage(class string, examples []Example, numCandidates int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ep := e.cur.Load()
+	metaIx := ep.metaIx
+	matchFn := func(indices []int) *index.Index {
+		metaIx = e.matchMissing(ep, metaIx, indices)
+		return mergeFor(metaIx, indices)
+	}
 	opts := core.DefaultDualStage(numCandidates)
 	opts.Train = e.opts.Train
-	res := core.DualStage(e.ms, e.indexFor, examples, opts)
-	e.setClass(class, &classModel{
-		kept:  res.Kept,
-		ix:    e.indexFor(res.Kept),
-		model: res.Model,
+	res := core.DualStage(e.ms, matchFn, examples, opts)
+	cm := &classModel{kept: res.Kept, ix: mergeFor(metaIx, res.Kept), model: res.Model}
+	e.publish(&epoch{
+		g:       ep.g,
+		metaIx:  metaIx,
+		classes: withClass(ep.classes, class, cm),
+		version: ep.version,
 	})
 }
 
 // Classes returns the trained class names, sorted.
 func (e *Engine) Classes() []string {
-	e.classMu.RLock()
-	out := make([]string, 0, len(e.classes))
-	for c := range e.classes {
+	classes := e.cur.Load().classes
+	out := make([]string, 0, len(classes))
+	for c := range classes {
 		out = append(out, c)
 	}
-	e.classMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -269,7 +330,7 @@ func (e *Engine) Classes() []string {
 // (zero for metagraphs the class never matched), or nil if the class is
 // untrained.
 func (e *Engine) Weights(class string) []float64 {
-	cm := e.class(class)
+	cm := e.cur.Load().classes[class]
 	if cm == nil {
 		return nil
 	}
@@ -285,9 +346,10 @@ func (e *Engine) Weights(class string) []float64 {
 // The candidate scan shards over Options.Workers goroutines with per-shard
 // top-k heaps (long candidate lists dominate online latency), and the
 // sharded result is identical to the serial scan for every worker count.
-// Safe for concurrent use once the class is trained.
+// Safe for concurrent use at any time, including while the engine trains,
+// applies updates, or compacts.
 func (e *Engine) Query(class string, q NodeID, k int) ([]Ranked, error) {
-	cm := e.class(class)
+	cm := e.cur.Load().classes[class]
 	if cm == nil {
 		return nil, fmt.Errorf("semprox: class %q not trained", class)
 	}
@@ -297,10 +359,11 @@ func (e *Engine) Query(class string, q NodeID, k int) ([]Ranked, error) {
 // QueryBatch answers many queries of one class in a single call, fanning
 // the queries out over Options.Workers goroutines. Each query runs the
 // serial scan — cross-query parallelism already saturates the workers, and
-// per-query results are identical either way. Results align with qs. Safe
-// for concurrent use once the class is trained.
+// per-query results are identical either way. Results align with qs, and
+// the whole batch is answered from ONE epoch: a concurrent ApplyUpdate
+// never splits a batch across generations. Safe for concurrent use.
 func (e *Engine) QueryBatch(class string, qs []NodeID, k int) ([][]Ranked, error) {
-	cm := e.class(class)
+	cm := e.cur.Load().classes[class]
 	if cm == nil {
 		return nil, fmt.Errorf("semprox: class %q not trained", class)
 	}
@@ -335,9 +398,9 @@ func (e *Engine) QueryBatch(class string, qs []NodeID, k int) ([][]Ranked, error
 }
 
 // Proximity evaluates π(x, y) under the named class's learned weights.
-// Safe for concurrent use once the class is trained.
+// Safe for concurrent use.
 func (e *Engine) Proximity(class string, x, y NodeID) (float64, error) {
-	cm := e.class(class)
+	cm := e.cur.Load().classes[class]
 	if cm == nil {
 		return 0, fmt.Errorf("semprox: class %q not trained", class)
 	}

@@ -18,8 +18,9 @@ type Edge struct {
 }
 
 // Graph is an immutable typed object graph in CSR form. Build one with a
-// Builder. All accessors are safe for concurrent use because the structure
-// is never mutated after Build.
+// Builder, or derive the next version of a live graph with Apply. All
+// accessors are safe for concurrent use because the structure is never
+// mutated after Build/Apply.
 type Graph struct {
 	types *TypeRegistry
 
@@ -27,7 +28,9 @@ type Graph struct {
 	nodeName []string // intrinsic values; may be empty strings
 
 	// CSR adjacency. nbr[off[v]:off[v+1]] lists v's neighbors sorted by
-	// (type, id).
+	// (type, id). The flat arrays cover the nodes that existed when they
+	// were last (re)built; rows touched by Apply since then — and all
+	// nodes added since then — live in ovl instead.
 	off []int64
 	nbr []NodeID
 
@@ -39,6 +42,13 @@ type Graph struct {
 	byType [][]NodeID
 
 	numEdges int
+
+	// version counts Apply generations (see delta.go); ovl holds the
+	// copy-on-write rows of nodes whose adjacency is newer than the flat
+	// arrays. nil for freshly built or compacted graphs, so the hot
+	// accessors pay one nil check on the common path.
+	version uint64
+	ovl     map[NodeID]*ovlRow
 }
 
 // Types returns the graph's type registry.
@@ -61,12 +71,22 @@ func (g *Graph) Name(v NodeID) string { return g.nodeName[v] }
 
 // Degree returns the number of neighbors of v.
 func (g *Graph) Degree(v NodeID) int {
+	if g.ovl != nil {
+		if r := g.ovl[v]; r != nil {
+			return len(r.nbr)
+		}
+	}
 	return int(g.off[v+1] - g.off[v])
 }
 
 // Neighbors returns v's neighbor list sorted by (type, id). The returned
 // slice aliases internal storage and must not be modified.
 func (g *Graph) Neighbors(v NodeID) []NodeID {
+	if g.ovl != nil {
+		if r := g.ovl[v]; r != nil {
+			return r.nbr
+		}
+	}
 	return g.nbr[g.off[v]:g.off[v+1]]
 }
 
@@ -74,6 +94,11 @@ func (g *Graph) Neighbors(v NodeID) []NodeID {
 // ascending. The returned slice aliases internal storage and must not be
 // modified.
 func (g *Graph) NeighborsOfType(v NodeID, t TypeID) []NodeID {
+	if g.ovl != nil {
+		if r := g.ovl[v]; r != nil {
+			return r.nbr[r.typeOff[t]:r.typeOff[t+1]]
+		}
+	}
 	base := g.off[v]
 	k := int64(v) * int64(g.types.Len()+1)
 	lo := base + int64(g.typeOff[k+int64(t)])
@@ -83,6 +108,11 @@ func (g *Graph) NeighborsOfType(v NodeID, t TypeID) []NodeID {
 
 // DegreeOfType returns the number of neighbors of v having type t.
 func (g *Graph) DegreeOfType(v NodeID, t TypeID) int {
+	if g.ovl != nil {
+		if r := g.ovl[v]; r != nil {
+			return int(r.typeOff[t+1] - r.typeOff[t])
+		}
+	}
 	k := int64(v) * int64(g.types.Len()+1)
 	return int(g.typeOff[k+int64(t)+1] - g.typeOff[k+int64(t)])
 }

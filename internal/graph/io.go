@@ -11,19 +11,29 @@ import (
 // The text format is line oriented:
 //
 //	# comment
+//	T <type-name>                 registers an object type; T lines fix the
+//	                              TypeID order (0,1,2,... in order of
+//	                              appearance), so a round-tripped graph
+//	                              keeps the registry of the graph that was
+//	                              written, even for types its nodes visit
+//	                              in a different order (or never)
 //	N <type-name> <value...>      declares the next node (ids are implicit,
 //	                              assigned 0,1,2,... in order of appearance)
 //	E <u> <v>                     declares an undirected edge
 //
 // Values may contain spaces; everything after the type name is the value.
 // The format is intentionally trivial so datasets can be inspected and
-// hand-edited.
+// hand-edited; T lines are optional on input (types of files written
+// before they existed register in node order, as they always did).
 
 // Write serializes g in the text format.
 func Write(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# typed object graph: %d nodes, %d edges, %d types\n",
 		g.NumNodes(), g.NumEdges(), g.NumTypes())
+	for _, name := range g.types.Names() {
+		fmt.Fprintf(bw, "T %s\n", name)
+	}
 	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
 		fmt.Fprintf(bw, "N %s %s\n", g.types.Name(g.Type(v)), g.Name(v))
 	}
@@ -54,6 +64,12 @@ func Read(r io.Reader) (*Graph, error) {
 			continue
 		}
 		switch line[0] {
+		case 'T':
+			name := strings.TrimSpace(line[1:])
+			if name == "" {
+				return nil, fmt.Errorf("graph: line %d: type without name", lineNo)
+			}
+			b.Types().Register(name)
 		case 'N':
 			rest := strings.TrimSpace(line[1:])
 			parts := strings.SplitN(rest, " ", 2)

@@ -170,10 +170,21 @@ func appendNormalized(arena []Entry, row []Entry) []Entry {
 
 // Index holds the frozen metagraph vectors for one graph and one metagraph
 // set M. It is immutable after Build and safe for concurrent reads.
+//
+// A live-updated index additionally carries a patch overlay (see patch.go):
+// rows recomputed after a graph delta shadow their flat-CSR originals until
+// Compact folds them into fresh arenas. Reads stay allocation-free either
+// way; an overlaid index pays one extra binary search into the (small)
+// overlay per row lookup.
 type Index struct {
 	numMeta int
 	mx      csr[graph.NodeID]
 	mxy     csr[PairKey]
+	// ovlMx/ovlMxy hold replacement rows from WithPatch. A key present
+	// here fully shadows the base row; overlay rows are never empty (a
+	// delta only adds instances, so no row ever vanishes).
+	ovlMx  csr[graph.NodeID]
+	ovlMxy csr[PairKey]
 	// partners lists, per node, every y that shares at least one instance
 	// with x symmetrically; the online phase ranks these candidates. It is
 	// derived from the pair keys on first use: the single-metagraph parts
@@ -198,19 +209,32 @@ func (ix *Index) NumMeta() int { return ix.numMeta }
 
 // NodeVec returns m_x (nil when x never occurs symmetrically). The slice is
 // a view into the index arena; do not modify.
-func (ix *Index) NodeVec(x graph.NodeID) SparseVec { return ix.mx.row(x) }
+func (ix *Index) NodeVec(x graph.NodeID) SparseVec {
+	if len(ix.ovlMx.keys) != 0 {
+		if i := findKey(ix.ovlMx.keys, x); i >= 0 {
+			return ix.ovlMx.ent[ix.ovlMx.off[i]:ix.ovlMx.off[i+1]]
+		}
+	}
+	return ix.mx.row(x)
+}
 
 // PairVec returns m_xy (nil when x and y never co-occur symmetrically). The
 // slice is a view into the index arena; do not modify.
 func (ix *Index) PairVec(x, y graph.NodeID) SparseVec {
-	return ix.mxy.row(MakePairKey(x, y))
+	k := MakePairKey(x, y)
+	if len(ix.ovlMxy.keys) != 0 {
+		if i := findKey(ix.ovlMxy.keys, k); i >= 0 {
+			return ix.ovlMxy.ent[ix.ovlMxy.off[i]:ix.ovlMxy.off[i+1]]
+		}
+	}
+	return ix.mxy.row(k)
 }
 
 // Partners returns the nodes that co-occur symmetrically with x in at least
 // one instance, in ascending order. The slice is shared; do not modify.
 func (ix *Index) Partners(x graph.NodeID) []graph.NodeID {
 	pt := ix.partners
-	pt.once.Do(func() { pt.build(ix.mxy.keys) })
+	pt.once.Do(func() { pt.build(unionKeys(ix.mxy.keys, ix.ovlMxy.keys)) })
 	i := findKey(pt.keys, x)
 	if i < 0 {
 		return nil
@@ -218,8 +242,42 @@ func (ix *Index) Partners(x graph.NodeID) []graph.NodeID {
 	return pt.list[pt.off[i]:pt.off[i+1]]
 }
 
+// unionKeys merges two sorted key slices without duplicates, returning a
+// directly when b is empty (the common, un-patched case).
+func unionKeys[K cmp.Ordered](a, b []K) []K {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]K, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
 // NumPairs returns the number of node pairs with a non-zero m_xy.
-func (ix *Index) NumPairs() int { return len(ix.mxy.keys) }
+func (ix *Index) NumPairs() int {
+	n := len(ix.mxy.keys)
+	for _, k := range ix.ovlMxy.keys {
+		if findKey(ix.mxy.keys, k) < 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // build derives the partner CSR from the sorted pair keys. For a fixed
 // node x the sorted (min, max) pair order emits partners below x first
@@ -264,8 +322,10 @@ func (pt *partnerTable) build(pairs []PairKey) {
 // Transform returns a copy of the index with f applied to every count; the
 // paper mentions log-style transforms of the raw counts (Sect. II-A). Keys,
 // offsets and partner lists are shared with the receiver (both are
-// immutable); only the entry arenas are copied.
+// immutable); only the entry arenas are copied. A patched receiver is
+// compacted first.
 func (ix *Index) Transform(f func(float64) float64) *Index {
+	ix = ix.Compact()
 	out := *ix
 	out.mx.ent = transformArena(ix.mx.ent, f)
 	out.mxy.ent = transformArena(ix.mxy.ent, f)
@@ -287,6 +347,7 @@ func transformArena(ent []Entry, f func(float64) float64) []Entry {
 // common case) projected rows inherit the source order and no sorting
 // happens at all.
 func (ix *Index) Project(keep []int) *Index {
+	ix = ix.Compact()
 	remap := make([]int32, ix.numMeta)
 	for i := range remap {
 		remap[i] = -1
@@ -354,10 +415,13 @@ func Merge(parts ...*Index) *Index {
 	out := &Index{partners: &partnerTable{}}
 	offsets := make([]int32, len(parts))
 	var off int32
+	compacted := make([]*Index, len(parts))
 	for i, p := range parts {
+		compacted[i] = p.Compact()
 		offsets[i] = off
 		off += int32(p.numMeta)
 	}
+	parts = compacted
 	out.numMeta = int(off)
 	out.mx = mergeCSR(parts, offsets, func(p *Index) *csr[graph.NodeID] { return &p.mx })
 	out.mxy = mergeCSR(parts, offsets, func(p *Index) *csr[PairKey] { return &p.mxy })

@@ -418,7 +418,7 @@ func TestIndexReadRejectsCorruptTables(t *testing.T) {
 		{"unsorted keys", serIndex{
 			Version: serVersion, NumMeta: 1,
 			MxKeys: []graph.NodeID{4, 2}, MxOff: []int32{0, 1, 2},
-			MxEnt:  []Entry{{Meta: 0, Count: 1}, {Meta: 0, Count: 1}},
+			MxEnt: []Entry{{Meta: 0, Count: 1}, {Meta: 0, Count: 1}},
 		}},
 		{"offset mismatch", serIndex{
 			Version: serVersion, NumMeta: 1,
@@ -427,7 +427,7 @@ func TestIndexReadRejectsCorruptTables(t *testing.T) {
 		{"unsorted row", serIndex{
 			Version: serVersion, NumMeta: 4,
 			MxKeys: []graph.NodeID{1}, MxOff: []int32{0, 2},
-			MxEnt:  []Entry{{Meta: 3, Count: 1}, {Meta: 1, Count: 1}},
+			MxEnt: []Entry{{Meta: 3, Count: 1}, {Meta: 1, Count: 1}},
 		}},
 		{"negative numMeta", serIndex{Version: serVersion, NumMeta: -1}},
 		{"bad version", serIndex{Version: 1}},

@@ -32,8 +32,11 @@ type serIndex struct {
 
 const serVersion = 2
 
-// Write serializes ix.
+// Write serializes ix. A patched index is compacted first, so the wire
+// format never carries an overlay and an incrementally updated index
+// serializes byte-identically to a from-scratch build of the same rows.
 func Write(w io.Writer, ix *Index) error {
+	ix = ix.Compact()
 	s := serIndex{
 		Version: serVersion,
 		NumMeta: ix.numMeta,

@@ -8,12 +8,19 @@
 //	                 {"class","queries":[...],"k"} in a single request
 //	GET  /proximity  one pair score (?class=&x=&y=)
 //	POST /proximity  one pair score {"class","x","y"}
+//	POST /update     batched live node/edge additions
+//	                 {"nodes":[{"type","name"}],"edges":[{"u","v"}]}
+//	GET  /stats      serving epoch, graph counts, matched metagraphs,
+//	                 pending-compaction state
 //
 // Every error is structured JSON — {"error":{"code","message"}} — with a
-// 4xx status for client mistakes (unknown class or node, malformed JSON,
-// oversized batch), so callers never parse free-text failures. Handlers
-// only use the engine operations documented as safe for concurrent use, so
-// the server can keep answering while new classes train in the background.
+// 4xx status for client mistakes (unknown class, node or type, malformed
+// JSON, oversized batch), so callers never parse free-text failures.
+// Handlers only use the engine operations documented as safe for
+// concurrent use, so the server keeps answering while classes train,
+// updates apply, and overlays compact in the background: an update swaps
+// the serving epoch atomically, and a query sees the old epoch or the new
+// one, never a mix.
 package server
 
 import (
@@ -24,6 +31,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	semprox "repro"
 )
@@ -39,21 +47,49 @@ const maxBodyBytes = 1 << 20
 // defaultK is the result count when a request leaves k unset.
 const defaultK = 10
 
+// MaxUpdate bounds the node plus edge additions accepted by one /update
+// request.
+const MaxUpdate = 4096
+
 // Server routes HTTP requests to one engine.
 type Server struct {
 	eng *semprox.Engine
 	mux *http.ServeMux
+	// autoCompact folds update overlays into flat storage from a
+	// background goroutine after each /update; compacting wakes track the
+	// in-flight goroutines so tests (and graceful shutdown) can wait.
+	autoCompact bool
+	compacting  sync.WaitGroup
+	// updateMu serializes /update handlers. The handler predicts the ids
+	// of the nodes it adds (n, n+1, ... off the current graph) before
+	// calling ApplyUpdate; two concurrent handlers predicting off the
+	// same epoch would race to the same ids and silently cross-wire their
+	// edges, so the whole read-resolve-apply sequence is one critical
+	// section. Queries never touch this lock.
+	updateMu sync.Mutex
 }
 
-// New wraps an engine in an HTTP handler.
+// New wraps an engine in an HTTP handler with background compaction after
+// updates enabled.
 func New(eng *semprox.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s := &Server{eng: eng, mux: http.NewServeMux(), autoCompact: true}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/classes", s.handleClasses)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/proximity", s.handleProximity)
+	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
+
+// SetAutoCompact toggles background compaction after updates. Call before
+// serving; with it off, /stats keeps reporting the pending overlays until
+// the operator compacts some other way.
+func (s *Server) SetAutoCompact(on bool) { s.autoCompact = on }
+
+// WaitCompactions blocks until every background compaction kicked off by
+// handled updates has finished.
+func (s *Server) WaitCompactions() { s.compacting.Wait() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -320,6 +356,162 @@ func (s *Server) render(query string, ranked []semprox.Ranked) queryResult {
 		out.Results[i] = rankedResult{Node: int32(r.Node), Name: g.Name(r.Node), Score: r.Score}
 	}
 	return out
+}
+
+// updateNode is one node addition of an /update request.
+type updateNode struct {
+	Type string `json:"type"`
+	Name string `json:"name"`
+}
+
+// updateEdge is one edge addition of an /update request; endpoints are
+// node names, resolving against the request's own new nodes first and the
+// graph second.
+type updateEdge struct {
+	U string `json:"u"`
+	V string `json:"v"`
+}
+
+// updateRequest is the /update body.
+type updateRequest struct {
+	Nodes []updateNode `json:"nodes,omitempty"`
+	Edges []updateEdge `json:"edges,omitempty"`
+}
+
+// updateResponse reports what the update did.
+type updateResponse struct {
+	Epoch             uint64 `json:"epoch"`
+	NodesAdded        int    `json:"nodes_added"`
+	EdgesAdded        int    `json:"edges_added"`
+	Rematched         int    `json:"rematched"`
+	PendingCompaction int    `json:"pending_compaction"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodPost) {
+		return
+	}
+	var req updateRequest
+	if herr := decodeStrict(w, r, &req); herr != nil {
+		writeErr(w, herr)
+		return
+	}
+	if len(req.Nodes) == 0 && len(req.Edges) == 0 {
+		writeErr(w, errBadRequest("empty update: add nodes, edges, or both"))
+		return
+	}
+	if total := len(req.Nodes) + len(req.Edges); total > MaxUpdate {
+		writeErr(w, errBadRequest("update of %d additions exceeds limit %d", total, MaxUpdate))
+		return
+	}
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	g := s.eng.Graph()
+	d := semprox.Delta{Nodes: make([]semprox.DeltaNode, len(req.Nodes))}
+	fresh := make(map[string]semprox.NodeID, len(req.Nodes))
+	for i, n := range req.Nodes {
+		if n.Type == "" || n.Name == "" {
+			writeErr(w, errBadRequest("nodes[%d]: type and name are required", i))
+			return
+		}
+		if g.Types().ID(n.Type) == semprox.InvalidType {
+			writeErr(w, errBadRequest("nodes[%d]: unknown type %q (a delta cannot introduce types)", i, n.Type))
+			return
+		}
+		d.Nodes[i] = semprox.DeltaNode{Type: n.Type, Value: n.Name}
+		if _, dup := fresh[n.Name]; !dup {
+			fresh[n.Name] = semprox.NodeID(g.NumNodes() + i)
+		}
+	}
+	// One pass over the graph replaces a per-endpoint NodeByName scan;
+	// like NodeByName, the first node wins a duplicated name.
+	var byName map[string]semprox.NodeID
+	if len(req.Edges) > 0 {
+		byName = make(map[string]semprox.NodeID, g.NumNodes())
+		for v := semprox.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if name := g.Name(v); name != "" {
+				if _, dup := byName[name]; !dup {
+					byName[name] = v
+				}
+			}
+		}
+	}
+	resolve := func(field, name string) (semprox.NodeID, *httpError) {
+		if name == "" {
+			return semprox.InvalidNode, errBadRequest("missing %s", field)
+		}
+		if id, ok := fresh[name]; ok {
+			return id, nil
+		}
+		if id, ok := byName[name]; ok {
+			return id, nil
+		}
+		return semprox.InvalidNode, errNotFound("node_not_found", "node %q neither in graph nor added by this update", name)
+	}
+	d.Edges = make([]semprox.Edge, len(req.Edges))
+	for i, e := range req.Edges {
+		u, herr := resolve(fmt.Sprintf("edges[%d].u", i), e.U)
+		if herr != nil {
+			writeErr(w, herr)
+			return
+		}
+		v, herr := resolve(fmt.Sprintf("edges[%d].v", i), e.V)
+		if herr != nil {
+			writeErr(w, herr)
+			return
+		}
+		d.Edges[i] = semprox.Edge{U: u, V: v}
+	}
+	st, err := s.eng.ApplyUpdate(d)
+	if err != nil {
+		// Everything client-controlled was validated above; a residual
+		// failure still maps to a 400 with the engine's reason.
+		writeErr(w, errBadRequest("%v", err))
+		return
+	}
+	if s.autoCompact && st.Pending > 0 {
+		s.compacting.Add(1)
+		go func() {
+			defer s.compacting.Done()
+			s.eng.Compact()
+		}()
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		Epoch:             st.Epoch,
+		NodesAdded:        st.NodesAdded,
+		EdgesAdded:        st.EdgesAdded,
+		Rematched:         st.Rematched,
+		PendingCompaction: st.Pending,
+	})
+}
+
+// statsResponse is the /stats body.
+type statsResponse struct {
+	Epoch             uint64   `json:"epoch"`
+	Nodes             int      `json:"nodes"`
+	Edges             int      `json:"edges"`
+	Types             int      `json:"types"`
+	Metagraphs        int      `json:"metagraphs"`
+	Matched           int      `json:"matched"`
+	PendingCompaction int      `json:"pending_compaction"`
+	Classes           []string `json:"classes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Epoch:             st.Epoch,
+		Nodes:             st.Nodes,
+		Edges:             st.Edges,
+		Types:             st.Types,
+		Metagraphs:        st.Metagraphs,
+		Matched:           st.Matched,
+		PendingCompaction: st.PendingCompaction,
+		Classes:           st.Classes,
+	})
 }
 
 // proximityRequest is the /proximity body.

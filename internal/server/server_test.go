@@ -338,3 +338,207 @@ func TestSnapshotServesIdentically(t *testing.T) {
 		t.Fatalf("batched /query drifted after snapshot:\n%s\nvs\n%s", r1.Body.String(), r2.Body.String())
 	}
 }
+
+// decodeUpdate parses an /update 200 body.
+func decodeUpdate(t *testing.T, rec *httptest.ResponseRecorder) updateResponse {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var out updateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestUpdateAddsAndServes(t *testing.T) {
+	s, eng, g := trainedServer(t)
+	s.SetAutoCompact(false)
+	body := `{"nodes":[{"type":"user","name":"Zoe"},{"type":"school","name":"College Z"}],
+	          "edges":[{"u":"Zoe","v":"College Z"},{"u":"Kate","v":"College Z"},{"u":"Zoe","v":"College A"}]}`
+	out := decodeUpdate(t, do(t, s, http.MethodPost, "/update", body))
+	if out.Epoch != 1 || out.NodesAdded != 2 || out.EdgesAdded != 3 {
+		t.Fatalf("update response = %+v", out)
+	}
+	if out.Rematched == 0 || out.PendingCompaction == 0 {
+		t.Fatalf("expected re-matching and pending compaction, got %+v", out)
+	}
+	if g.NodeByName("Zoe") != semprox.InvalidNode {
+		t.Fatal("pre-update graph snapshot mutated")
+	}
+	if eng.Graph().NodeByName("Zoe") == semprox.InvalidNode {
+		t.Fatal("new node not served")
+	}
+	// The new user is queryable: Zoe and Kate now share College Z with
+	// College A linking Zoe into Kate's old neighborhood.
+	rec := do(t, s, http.MethodGet, "/query?class=classmate&query=Zoe&k=5", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query after update: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var res batchResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 1 || len(res.Results[0].Results) == 0 {
+		t.Fatalf("Zoe has no ranked neighbors after update: %s", rec.Body.String())
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	s, _, _ := trainedServer(t)
+	s.SetAutoCompact(false)
+	wantErr(t, do(t, s, http.MethodPost, "/update", `{}`), http.StatusBadRequest, "bad_request")
+	wantErr(t, do(t, s, http.MethodPost, "/update",
+		`{"nodes":[{"type":"starship","name":"x"}]}`), http.StatusBadRequest, "bad_request")
+	wantErr(t, do(t, s, http.MethodPost, "/update",
+		`{"nodes":[{"type":"user"}]}`), http.StatusBadRequest, "bad_request")
+	wantErr(t, do(t, s, http.MethodPost, "/update",
+		`{"edges":[{"u":"Kate","v":"Nobody Known"}]}`), http.StatusNotFound, "node_not_found")
+	wantErr(t, do(t, s, http.MethodPost, "/update",
+		`{"edges":[{"u":"Kate"}]}`), http.StatusBadRequest, "bad_request")
+	wantErr(t, do(t, s, http.MethodGet, "/update", ""), http.StatusMethodNotAllowed, "method_not_allowed")
+	// Oversized batches are rejected before any resolution work.
+	var sb strings.Builder
+	sb.WriteString(`{"edges":[`)
+	for i := 0; i <= MaxUpdate; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"u":"Kate","v":"Jay"}`)
+	}
+	sb.WriteString(`]}`)
+	wantErr(t, do(t, s, http.MethodPost, "/update", sb.String()), http.StatusBadRequest, "bad_request")
+	// Nothing above may have advanced the epoch.
+	var st statsResponse
+	if err := json.Unmarshal(do(t, s, http.MethodGet, "/stats", "").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 0 {
+		t.Fatalf("rejected updates advanced the epoch to %d", st.Epoch)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s, eng, g := trainedServer(t)
+	s.SetAutoCompact(false)
+	rec := do(t, s, http.MethodGet, "/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 0 || st.Nodes != g.NumNodes() || st.Edges != g.NumEdges() ||
+		st.Metagraphs != eng.NumMetagraphs() || st.Matched != eng.MatchedCount() ||
+		st.PendingCompaction != 0 || len(st.Classes) != 1 || st.Classes[0] != "classmate" {
+		t.Fatalf("stats = %+v", st)
+	}
+	decodeUpdate(t, do(t, s, http.MethodPost, "/update",
+		`{"nodes":[{"type":"hobby","name":"chess"}],"edges":[{"u":"Kate","v":"chess"}]}`))
+	if err := json.Unmarshal(do(t, s, http.MethodGet, "/stats", "").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 1 || st.Nodes != g.NumNodes()+1 || st.Edges != g.NumEdges()+1 || st.PendingCompaction == 0 {
+		t.Fatalf("stats after update = %+v", st)
+	}
+	wantErr(t, do(t, s, http.MethodPost, "/stats", "{}"), http.StatusMethodNotAllowed, "method_not_allowed")
+}
+
+func TestUpdateAutoCompacts(t *testing.T) {
+	s, eng, _ := trainedServer(t)
+	decodeUpdate(t, do(t, s, http.MethodPost, "/update",
+		`{"nodes":[{"type":"hobby","name":"chess"}],"edges":[{"u":"Kate","v":"chess"}]}`))
+	s.WaitCompactions()
+	if p := eng.Stats().PendingCompaction; p != 0 {
+		t.Fatalf("pending after auto-compaction = %d", p)
+	}
+}
+
+// TestUpdateWhileQuerying floods queries while updates stream in; every
+// response must be well-formed and the server must end at the expected
+// epoch. With -race this exercises the epoch swap under real HTTP load.
+func TestUpdateWhileQuerying(t *testing.T) {
+	s, eng, _ := trainedServer(t)
+	const updates = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := do(t, s, http.MethodGet, "/query?class=classmate&query=Kate&k=5", "")
+				if rec.Code != http.StatusOK {
+					t.Errorf("query during update: %d (%s)", rec.Code, rec.Body.String())
+					return
+				}
+				if rec := do(t, s, http.MethodGet, "/stats", ""); rec.Code != http.StatusOK {
+					t.Errorf("stats during update: %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < updates; i++ {
+		body := fmt.Sprintf(`{"nodes":[{"type":"user","name":"live-%d"}],"edges":[{"u":"live-%d","v":"College A"}]}`, i, i)
+		decodeUpdate(t, do(t, s, http.MethodPost, "/update", body))
+	}
+	close(stop)
+	wg.Wait()
+	s.WaitCompactions()
+	if got := eng.Epoch(); got != updates {
+		t.Fatalf("epoch = %d, want %d", got, updates)
+	}
+}
+
+// TestConcurrentUpdatesDoNotCrossWire is the regression test for the
+// id-prediction race: two /update handlers that resolved names off the
+// same epoch used to predict the same fresh node ids and silently wire
+// one request's edges into the other's node. Handlers now serialize, so
+// every concurrently added node must end up with exactly its own edges.
+func TestConcurrentUpdatesDoNotCrossWire(t *testing.T) {
+	s, eng, g := trainedServer(t)
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(
+				`{"nodes":[{"type":"user","name":"cc-%d"}],"edges":[{"u":"cc-%d","v":"College A"},{"u":"cc-%d","v":"Alice"}]}`,
+				i, i, i)
+			if rec := do(t, s, http.MethodPost, "/update", body); rec.Code != http.StatusOK {
+				t.Errorf("update %d: %d (%s)", i, rec.Code, rec.Body.String())
+			}
+		}(i)
+	}
+	wg.Wait()
+	s.WaitCompactions()
+	ng := eng.Graph()
+	if got := ng.NumNodes(); got != g.NumNodes()+n {
+		t.Fatalf("nodes = %d, want %d", got, g.NumNodes()+n)
+	}
+	if got := ng.NumEdges(); got != g.NumEdges()+2*n {
+		t.Fatalf("edges = %d, want %d", got, g.NumEdges()+2*n)
+	}
+	college, alice := ng.NodeByName("College A"), ng.NodeByName("Alice")
+	for i := 0; i < n; i++ {
+		v := ng.NodeByName(fmt.Sprintf("cc-%d", i))
+		if v == semprox.InvalidNode {
+			t.Fatalf("cc-%d missing", i)
+		}
+		if ng.Degree(v) != 2 || !ng.HasEdge(v, college) || !ng.HasEdge(v, alice) {
+			t.Fatalf("cc-%d has wrong edges (degree %d)", i, ng.Degree(v))
+		}
+	}
+	if eng.Epoch() != n {
+		t.Fatalf("epoch = %d, want %d", eng.Epoch(), n)
+	}
+}

@@ -6,6 +6,8 @@
 //	offline:  mine metagraphs → match them (SymISO) → index the
 //	          metagraph vectors m_x, m_xy → learn per-class weights w*
 //	online:   rank nodes by MGP proximity π(q, ·; w*)
+//	live:     ApplyUpdate grows the graph while queries keep serving —
+//	          neighborhood re-match, index patching, atomic epoch swap
 //
 // The central type is Engine. A typical session:
 //
@@ -57,6 +59,9 @@ type (
 
 // InvalidNode marks "no such node".
 const InvalidNode = graph.InvalidNode
+
+// InvalidType marks "no such object type".
+const InvalidType = graph.InvalidType
 
 // NewGraphBuilder returns an empty graph builder.
 func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -17,11 +16,18 @@ import (
 // Engine snapshots. Mining and matching dominate the offline phase
 // (Table III), and training adds gradient ascent on top — none of which a
 // serving process should repeat on restart. Save captures everything the
-// online phase needs (graph, options, metagraph set, every matched
-// single-metagraph index, every trained class with its merged index and
-// weights); LoadEngine restores an engine that answers Query/Proximity
-// identically to the one that wrote the snapshot, and can still train new
-// classes because the matching cache is restored slot by slot.
+// online phase needs (graph, epoch counter, options, metagraph set, every
+// matched single-metagraph index, every trained class with its merged
+// index and weights); LoadEngine restores an engine that answers
+// Query/Proximity identically to the one that wrote the snapshot, and can
+// still train new classes and apply updates because the matching cache and
+// epoch counter are restored slot by slot.
+//
+// A live-updated engine round-trips too: the graph text format
+// materializes the copy-on-write overlay, update overlays on the indices
+// compact on the way out (index.Write), and the epoch counter rides in the
+// snapshot header — so a loaded engine resumes at the saved epoch with
+// nothing pending, answering exactly as the saved one did.
 
 // snapMetagraph rebuilds one metagraph via metagraph.New.
 type snapMetagraph struct {
@@ -48,6 +54,7 @@ type snapClass struct {
 // snapshot is the gob wire format of a saved engine.
 type snapshot struct {
 	Version    int
+	Epoch      uint64 // serving epoch counter (v2+; zero for v1 streams)
 	Graph      []byte // graph.Write text format
 	AnchorType string
 	Opts       Options
@@ -56,22 +63,27 @@ type snapshot struct {
 	Classes    []snapClass
 }
 
-const snapshotVersion = 1
+// snapshotVersion is the current wire version. Version 1 (pre-live-update,
+// no epoch counter) streams still load, resuming at epoch 0.
+const snapshotVersion = 2
 
 // Save serializes the engine so LoadEngine can restore it without mining,
 // matching or training. Classes are written in sorted name order and every
-// index serializes its frozen CSR arenas directly, so saving the same
-// engine twice yields identical bytes. Like Train and MatchedCount, Save
-// must not run concurrently with in-flight training.
+// index serializes its frozen CSR arenas (compacted first), so saving the
+// same engine twice yields identical bytes. Save reads one immutable
+// epoch, so it is safe to call concurrently with queries, training, and
+// updates — it simply snapshots whichever epoch is serving.
 func (e *Engine) Save(w io.Writer) error {
+	ep := e.cur.Load()
 	var gbuf bytes.Buffer
-	if err := graph.Write(&gbuf, e.g); err != nil {
+	if err := graph.Write(&gbuf, ep.g); err != nil {
 		return fmt.Errorf("semprox: snapshot graph: %w", err)
 	}
 	s := snapshot{
 		Version:    snapshotVersion,
+		Epoch:      ep.version,
 		Graph:      gbuf.Bytes(),
-		AnchorType: e.g.Types().Name(e.anchor),
+		AnchorType: ep.g.Types().Name(e.anchor),
 		Opts:       e.opts,
 	}
 	s.Metas = make([]snapMetagraph, len(e.ms))
@@ -81,7 +93,7 @@ func (e *Engine) Save(w io.Writer) error {
 			Edges: append([]metagraph.Edge(nil), m.Edges()...),
 		}
 	}
-	for i, ix := range e.metaIx {
+	for i, ix := range ep.metaIx {
 		if ix == nil {
 			continue
 		}
@@ -91,15 +103,13 @@ func (e *Engine) Save(w io.Writer) error {
 		}
 		s.Parts = append(s.Parts, snapPart{Slot: i, Ix: b})
 	}
-	e.classMu.RLock()
-	defer e.classMu.RUnlock()
-	names := make([]string, 0, len(e.classes))
-	for name := range e.classes {
+	names := make([]string, 0, len(ep.classes))
+	for name := range ep.classes {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		cm := e.classes[name]
+		cm := ep.classes[name]
 		b, err := index.Marshal(cm.ix)
 		if err != nil {
 			return fmt.Errorf("semprox: snapshot class %q: %w", name, err)
@@ -117,21 +127,23 @@ func (e *Engine) Save(w io.Writer) error {
 }
 
 // LoadEngine restores an engine written by Save. The loaded engine answers
-// Query, Proximity, Weights and Classes identically to the saved one, and
-// training new classes picks up the restored matching cache (already
-// matched metagraphs are never re-matched).
+// Query, Proximity, Weights and Classes identically to the saved one,
+// resumes at the saved epoch, and training new classes picks up the
+// restored matching cache (already matched metagraphs are never
+// re-matched).
 func LoadEngine(r io.Reader) (*Engine, error) {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("semprox: snapshot decode: %w", err)
 	}
-	if s.Version != snapshotVersion {
+	if s.Version < 1 || s.Version > snapshotVersion {
 		return nil, fmt.Errorf("semprox: unsupported snapshot version %d", s.Version)
 	}
 	g, err := graph.Read(bytes.NewReader(s.Graph))
 	if err != nil {
 		return nil, fmt.Errorf("semprox: snapshot graph: %w", err)
 	}
+	g = g.WithVersion(s.Epoch)
 	anchor := g.Types().ID(s.AnchorType)
 	if anchor == graph.InvalidType {
 		return nil, fmt.Errorf("semprox: snapshot anchor type %q not in graph", s.AnchorType)
@@ -140,11 +152,9 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("semprox: snapshot matching engine %q unknown", s.Opts.Engine)
 	}
 	e := &Engine{
-		g:       g,
-		anchor:  anchor,
-		opts:    s.Opts,
-		ms:      make([]*metagraph.Metagraph, len(s.Metas)),
-		classes: make(map[string]*classModel, len(s.Classes)),
+		anchor: anchor,
+		opts:   s.Opts,
+		ms:     make([]*metagraph.Metagraph, len(s.Metas)),
 	}
 	for i, sm := range s.Metas {
 		m, err := metagraph.New(sm.Types, sm.Edges)
@@ -153,13 +163,17 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		}
 		e.ms[i] = m
 	}
-	e.metaIx = make([]*index.Index, len(e.ms))
-	e.metaOnce = make([]sync.Once, len(e.ms))
+	ep := &epoch{
+		g:       g,
+		metaIx:  make([]*index.Index, len(e.ms)),
+		classes: make(map[string]*classModel, len(s.Classes)),
+		version: s.Epoch,
+	}
 	for _, p := range s.Parts {
 		if p.Slot < 0 || p.Slot >= len(e.ms) {
 			return nil, fmt.Errorf("semprox: snapshot part slot %d out of range [0, %d)", p.Slot, len(e.ms))
 		}
-		if e.metaIx[p.Slot] != nil {
+		if ep.metaIx[p.Slot] != nil {
 			return nil, fmt.Errorf("semprox: snapshot part slot %d duplicated", p.Slot)
 		}
 		ix, err := index.Unmarshal(p.Ix)
@@ -169,10 +183,10 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		if ix.NumMeta() != 1 {
 			return nil, fmt.Errorf("semprox: snapshot part %d spans %d metagraphs, want 1", p.Slot, ix.NumMeta())
 		}
-		e.metaIx[p.Slot] = ix
+		ep.metaIx[p.Slot] = ix
 	}
 	for _, sc := range s.Classes {
-		if _, dup := e.classes[sc.Name]; dup {
+		if _, dup := ep.classes[sc.Name]; dup {
 			return nil, fmt.Errorf("semprox: snapshot class %q duplicated", sc.Name)
 		}
 		if len(sc.W) != len(sc.Kept) {
@@ -190,7 +204,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		if ix.NumMeta() != len(sc.Kept) {
 			return nil, fmt.Errorf("semprox: snapshot class %q: index spans %d metagraphs, want %d", sc.Name, ix.NumMeta(), len(sc.Kept))
 		}
-		e.classes[sc.Name] = &classModel{
+		ep.classes[sc.Name] = &classModel{
 			kept: sc.Kept,
 			ix:   ix,
 			model: &core.Model{
@@ -200,5 +214,6 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 			},
 		}
 	}
+	e.cur.Store(ep)
 	return e, nil
 }
