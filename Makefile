@@ -1,16 +1,17 @@
 # Tier-1 verification plus the invariants this repo adds on top:
 #   make ci  — lint (gofmt + vet), build, race-enabled tests, the
-#              per-package coverage floor, and a bench smoke run that
+#              per-package coverage floor, a bench smoke run that
 #              cross-checks parallel vs serial results on the offline
-#              index build and the online sharded top-k scan, and runs a
+#              index build and the online sharded top-k scan, runs a
 #              live ApplyUpdate cycle cross-checked against a from-scratch
-#              rebuild.
+#              rebuild plus a WAL append/replay cycle, and a two-process
+#              replication smoke (primary + follower on loopback).
 GO ?= go
 COVER_FLOOR ?= 80
 
-.PHONY: ci lint vet build test cover bench-smoke bench
+.PHONY: ci lint vet build test cover bench-smoke bench replication-smoke
 
-ci: lint build test cover bench-smoke
+ci: lint build test cover bench-smoke replication-smoke
 
 # gofmt must be a no-op and vet must be clean; staticcheck runs too when
 # the host has it installed (the CI image and the dev container may not).
@@ -46,12 +47,20 @@ cover:
 # Quick end-to-end bench: verifies identical parallel/serial results for
 # the offline build AND the online sharded scan, runs one live
 # ApplyUpdate cycle whose patched index must match a from-scratch rebuild
-# byte-for-byte, and prints timings without touching the committed
-# BENCH_*.json files. Exits non-zero on any drift.
+# byte-for-byte, runs a WAL append/replay/reopen cycle that must lose no
+# record, and prints timings without touching the committed BENCH_*.json
+# files. Exits non-zero on any drift.
 bench-smoke:
-	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out - -online-out - -update-out -
+	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out - -online-out - -update-out - -wal-out -
 
-# Full benchmark; rewrites BENCH_offline.json, BENCH_online.json and
-# BENCH_update.json (commit them to extend the perf trajectory).
+# Two-process replication smoke: durable primary + follower on loopback,
+# live updates pushed over HTTP, follower must reach lag 0 and serve
+# byte-identical /query output (see scripts/replication_smoke.sh).
+replication-smoke:
+	bash scripts/replication_smoke.sh
+
+# Full benchmark; rewrites BENCH_offline.json, BENCH_online.json,
+# BENCH_update.json and BENCH_wal.json (commit them to extend the perf
+# trajectory).
 bench:
 	$(GO) run ./cmd/bench

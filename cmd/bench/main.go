@@ -12,16 +12,21 @@
 //     full from-scratch re-match on a community-structured graph — the
 //     patched index is cross-checked byte-for-byte against the scratch
 //     build before timings are reported.
+//   - wal (BENCH_wal.json): the durable write path — fsynced group-commit
+//     appends across writer counts, cross-checked by replaying the log
+//     (every record must come back, contiguous and byte-identical) and by
+//     a reopen that must recover the same tail.
 //
-// Any failure — a drifted index, a drifted ranking, an unwritable output —
-// exits non-zero without touching the output files (writes are staged to a
-// temp file and renamed), so a CI smoke step can gate on it.
+// Any failure — a drifted index, a drifted ranking, a lost WAL record, an
+// unwritable output — exits non-zero without touching the output files
+// (writes are staged to a temp file and renamed), so a CI smoke step can
+// gate on it.
 //
 // Usage:
 //
 //	go run ./cmd/bench [-users 200] [-reps 3] [-workers 1,2,4,8] [-k 10]
 //	                   [-out BENCH_offline.json] [-online-out BENCH_online.json]
-//	                   [-update-out BENCH_update.json]
+//	                   [-update-out BENCH_update.json] [-wal-out BENCH_wal.json]
 package main
 
 import (
@@ -35,6 +40,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	semprox "repro"
@@ -45,6 +52,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/metagraph"
 	"repro/internal/mining"
+	"repro/internal/wal"
 )
 
 type run struct {
@@ -101,6 +109,7 @@ func runBench() error {
 	out := flag.String("out", "BENCH_offline.json", "offline output path ('-' for stdout only)")
 	onlineOut := flag.String("online-out", "BENCH_online.json", "online output path ('-' for stdout only)")
 	updateOut := flag.String("update-out", "BENCH_update.json", "live-update output path ('-' for stdout only)")
+	walOut := flag.String("wal-out", "BENCH_wal.json", "WAL append output path ('-' for stdout only)")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersFlag)
@@ -129,13 +138,20 @@ func runBench() error {
 	if err != nil {
 		return err
 	}
+	walRep, err := benchWAL(counts, *reps)
+	if err != nil {
+		return err
+	}
 	if err := emit(*out, offline); err != nil {
 		return err
 	}
 	if err := emit(*onlineOut, online); err != nil {
 		return err
 	}
-	return emit(*updateOut, update)
+	if err := emit(*updateOut, update); err != nil {
+		return err
+	}
+	return emit(*walOut, walRep)
 }
 
 // parseWorkers parses the -workers list, prepending the serial baseline
@@ -338,6 +354,146 @@ type updateReport struct {
 	IncrementalNs int64     `json:"incremental_ns"`
 	RebuildNs     int64     `json:"rebuild_ns"`
 	Speedup       float64   `json:"speedup_vs_rebuild"`
+}
+
+// walReport is the BENCH_wal.json shape.
+type walReport struct {
+	Benchmark   string    `json:"benchmark"`
+	Records     int       `json:"records_per_run"`
+	RecordBytes int       `json:"record_bytes"`
+	GoMaxProcs  int       `json:"gomaxprocs"`
+	Reps        int       `json:"reps"`
+	Timestamp   time.Time `json:"timestamp"`
+	Runs        []walRun  `json:"runs"`
+}
+
+// walRun is one writer-count row of the WAL bench.
+type walRun struct {
+	Writers       int     `json:"writers"`
+	BestNs        int64   `json:"best_ns"`
+	NsPerAppend   int64   `json:"ns_per_append"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+}
+
+// benchWAL measures fsynced group-commit appends across writer counts.
+// Before any timing, the serial log is replayed and cross-checked: every
+// record must come back contiguous and byte-identical to what was
+// appended, and a reopen must recover the same durable position — the
+// bench fails (exit non-zero) otherwise, like every other drift check
+// here.
+func benchWAL(counts []int, reps int) (*walReport, error) {
+	mkDelta := func(i int) graph.Delta {
+		return graph.Delta{
+			Nodes: []graph.DeltaNode{{Type: "user", Value: fmt.Sprintf("wal-user-%d", i)}},
+			Edges: []graph.Edge{{U: graph.NodeID(i), V: graph.NodeID(i + 1)}},
+		}
+	}
+	const records = 128
+
+	// Correctness pass: append serially, replay, reopen.
+	dir, err := os.MkdirTemp("", "bench-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < records; i++ {
+		lsn, err := w.Append(mkDelta(i))
+		if err != nil {
+			return nil, err
+		}
+		if lsn != uint64(i+1) {
+			return nil, fmt.Errorf("wal: append %d assigned LSN %d", i, lsn)
+		}
+	}
+	seen := 0
+	err = w.Replay(0, func(r wal.Record) error {
+		want := mkDelta(seen)
+		if r.LSN != uint64(seen+1) || !bytes.Equal(graph.EncodeDelta(r.Delta), graph.EncodeDelta(want)) {
+			return fmt.Errorf("wal: record %d drifted on replay", seen)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if seen != records {
+		return nil, fmt.Errorf("wal: replayed %d records, want %d", seen, records)
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	reopened, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("wal: reopen: %w", err)
+	}
+	if got := reopened.DurableLSN(); got != records {
+		return nil, fmt.Errorf("wal: reopen recovered LSN %d, want %d", got, records)
+	}
+	reopened.Close()
+
+	rep := &walReport{
+		Benchmark:   "wal_append",
+		Records:     records,
+		RecordBytes: len(graph.EncodeDelta(mkDelta(0))),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Reps:        reps,
+		Timestamp:   time.Now().UTC(),
+	}
+	for _, writers := range counts {
+		best := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			runDir, err := os.MkdirTemp("", "bench-wal-run-*")
+			if err != nil {
+				return nil, err
+			}
+			wr, err := wal.Open(runDir, wal.Options{})
+			if err != nil {
+				os.RemoveAll(runDir)
+				return nil, err
+			}
+			var wg sync.WaitGroup
+			var failed atomic.Bool
+			t0 := time.Now()
+			for g := 0; g < writers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := g; i < records; i += writers {
+						if _, err := wr.Append(mkDelta(i)); err != nil {
+							failed.Store(true)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			d := time.Since(t0)
+			durable := wr.DurableLSN()
+			wr.Close()
+			os.RemoveAll(runDir)
+			if failed.Load() || durable != records {
+				return nil, fmt.Errorf("wal: writers=%d lost records (durable %d, want %d)", writers, durable, records)
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		run := walRun{
+			Writers:       writers,
+			BestNs:        best.Nanoseconds(),
+			NsPerAppend:   best.Nanoseconds() / records,
+			AppendsPerSec: records / best.Seconds(),
+		}
+		rep.Runs = append(rep.Runs, run)
+		fmt.Printf("wal     writers=%-3d best=%8.2fms appends/s=%9.0f\n",
+			writers, float64(best.Nanoseconds())/1e6, run.AppendsPerSec)
+	}
+	return rep, nil
 }
 
 // updateGraph mirrors the community-structured bench graph of

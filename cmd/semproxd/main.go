@@ -1,9 +1,10 @@
 // Command semproxd serves semantic proximity queries over HTTP — the
 // online half of the paper's framework (Fig. 3) behind a deployable
 // binary. It either runs the offline pipeline itself (generate dataset →
-// mine → match → train) or starts instantly from an engine snapshot, and
-// can write a snapshot after training so the next start skips the offline
-// phase entirely.
+// mine → match → train) or starts instantly from an engine snapshot, can
+// write a snapshot after training so the next start skips the offline
+// phase entirely, and optionally runs durable (-wal) or as a read replica
+// of another semproxd (-follow).
 //
 // Examples:
 //
@@ -11,17 +12,26 @@
 //	# trained engine for the next start.
 //	semproxd -dataset linkedin -users 400 -save engine.snap
 //
-//	# Serve a previously trained engine; no mining, matching or training.
-//	semproxd -snapshot engine.snap -addr :9090
+//	# Durable primary: every /update is fsynced to the write-ahead log
+//	# before it is applied; a crash (kill -9) replays the log tail on the
+//	# next boot, so no acknowledged update is ever lost.
+//	semproxd -snapshot engine.snap -wal /var/lib/semprox/wal
 //
-//	# Query it.
+//	# Read replica: bootstrap from the primary's snapshot endpoint,
+//	# stream its log, serve identical /query answers. /readyz flips to
+//	# 200 once caught up; /update on a follower is 503.
+//	semproxd -follow http://primary:8080 -addr :8081
+//
+//	# Query either of them.
 //	curl 'localhost:8080/query?class=college&query=user-17&k=5'
 //	curl -d '{"class":"college","queries":["user-17","user-3"],"k":5}' localhost:8080/query
 //
-//	# Mutate the live graph (queries keep serving; the epoch swaps
-//	# atomically and overlays compact in the background), then inspect it.
+//	# Mutate the live graph through the primary (queries keep serving;
+//	# the epoch swaps atomically, the WAL makes it durable, followers
+//	# stream it), then inspect positions.
 //	curl -d '{"nodes":[{"type":"user","name":"zoe"}],"edges":[{"u":"zoe","v":"school-3"}]}' localhost:8080/update
 //	curl localhost:8080/stats
+//	curl localhost:8081/readyz
 package main
 
 import (
@@ -41,7 +51,9 @@ import (
 	semprox "repro"
 	"repro/internal/dataset"
 	"repro/internal/mining"
+	"repro/internal/replica"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -51,6 +63,8 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		snapshot   = flag.String("snapshot", "", "start from this engine snapshot instead of training")
 		save       = flag.String("save", "", "write the trained engine snapshot here before serving")
+		walDir     = flag.String("wal", "", "write-ahead log directory: fsync every /update before applying it, replay the log tail on boot, serve /replicate to followers")
+		follow     = flag.String("follow", "", "run as a read replica of the primary at this base URL (e.g. http://host:8080); offline flags are ignored")
 		dsName     = flag.String("dataset", "linkedin", "built-in dataset: linkedin or facebook (ignored with -snapshot)")
 		users      = flag.Int("users", 400, "user count for built-in datasets (ignored with -snapshot)")
 		classes    = flag.String("classes", "", "comma-separated classes to train (default: all dataset classes; ignored with -snapshot)")
@@ -63,36 +77,122 @@ func main() {
 	)
 	flag.Parse()
 
-	eng, err := buildEngine(*snapshot, *dsName, *users, *classes, *candidates,
-		*nExamples, *maxNodes, *minSupport, *workers, *seed)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var handler *server.Server
+	var shutdown func()
+	var err error
+	if *follow != "" {
+		handler, shutdown, err = buildFollower(ctx, *follow, *workers, *walDir, *save)
+	} else {
+		handler, shutdown, err = buildPrimary(*snapshot, *save, *walDir, *dsName, *users,
+			*classes, *candidates, *nExamples, *maxNodes, *minSupport, *workers, *seed)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *save != "" {
-		if err := writeSnapshot(*save, eng); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("wrote snapshot %s", *save)
-	}
 
-	handler := server.New(eng)
 	srv := &http.Server{Addr: *addr, Handler: handler}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain
 	}()
-	log.Printf("serving %d classes on %s (%d nodes, %d metagraphs, epoch %d)",
-		len(eng.Classes()), *addr, eng.Graph().NumNodes(), eng.NumMetagraphs(), eng.Epoch())
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	// Let in-flight background compactions from /update finish before the
-	// process exits.
+	// Let in-flight background compactions from /update finish, then
+	// release the durability/replication resources.
 	handler.WaitCompactions()
+	shutdown()
+}
+
+// buildFollower bootstraps a read replica from the primary's snapshot
+// endpoint and starts the streaming loop.
+func buildFollower(ctx context.Context, primaryURL string, workers int, walDir, save string) (*server.Server, func(), error) {
+	if err := replica.ValidPrimaryURL(primaryURL); err != nil {
+		return nil, nil, err
+	}
+	if walDir != "" || save != "" {
+		return nil, nil, fmt.Errorf("-wal and -save apply to primaries; a follower's durable state is the primary's (re-bootstrap on restart)")
+	}
+	f := replica.NewFollower(primaryURL, nil)
+	f.Workers = workers
+	start := time.Now()
+	if err := f.Bootstrap(ctx); err != nil {
+		return nil, nil, err
+	}
+	eng := f.Engine()
+	log.Printf("bootstrapped from %s in %.2fs: %d nodes, %d metagraphs, classes %v, LSN %d",
+		primaryURL, time.Since(start).Seconds(), eng.Graph().NumNodes(),
+		eng.NumMetagraphs(), eng.Classes(), eng.LSN())
+	go func() {
+		if err := f.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			log.Printf("replication stopped: %v", err)
+		}
+	}()
+	handler := server.New(eng)
+	handler.SetFollower(f)
+	return handler, func() {}, nil
+}
+
+// buildPrimary loads or trains an engine, replays the WAL tail over it
+// (crash recovery), persists the requested snapshot, and wires the WAL
+// into the server.
+func buildPrimary(snapshot, save, walDir, dsName string, users int,
+	classes string, candidates, nExamples, maxNodes, minSupport, workers int, seed int64) (*server.Server, func(), error) {
+	eng, err := buildEngine(snapshot, dsName, users, classes, candidates,
+		nExamples, maxNodes, minSupport, workers, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var w *wal.WAL
+	if walDir != "" {
+		w, err = wal.Open(walDir, wal.Options{BaseLSN: eng.LSN()})
+		if err != nil {
+			return nil, nil, err
+		}
+		start := time.Now()
+		replayed, err := semprox.ReplayWAL(eng, w)
+		if err != nil {
+			return nil, nil, err
+		}
+		if replayed > 0 {
+			eng.Compact()
+			log.Printf("recovered %d logged updates in %.2fs (engine now at LSN %d, epoch %d)",
+				replayed, time.Since(start).Seconds(), eng.LSN(), eng.Epoch())
+		}
+	}
+
+	// Snapshot after recovery, so it covers every replayed record; the
+	// log prefix it covers is then redundant and truncated away.
+	if save != "" {
+		if err := writeSnapshot(save, eng); err != nil {
+			return nil, nil, err
+		}
+		log.Printf("wrote snapshot %s (LSN %d)", save, eng.LSN())
+		if w != nil {
+			if err := w.TruncateThrough(eng.LSN()); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	handler := server.New(eng)
+	shutdown := func() {}
+	if w != nil {
+		handler.AttachWAL(w)
+		shutdown = func() {
+			if err := w.Close(); err != nil {
+				log.Printf("wal close: %v", err)
+			}
+		}
+		log.Printf("write-ahead log %s at LSN %d (%d segments)", walDir, w.DurableLSN(), w.SegmentCount())
+	}
+	return handler, shutdown, nil
 }
 
 // buildEngine loads a snapshot or runs the offline pipeline.
@@ -112,8 +212,8 @@ func buildEngine(snapshot, dsName string, users int, classes string, candidates,
 		// The snapshot carries the saving host's worker count; shard
 		// queries for THIS host instead.
 		eng.SetWorkers(workers)
-		log.Printf("loaded snapshot %s in %.2fs: %d metagraphs, classes %v",
-			snapshot, time.Since(start).Seconds(), eng.NumMetagraphs(), eng.Classes())
+		log.Printf("loaded snapshot %s in %.2fs: %d metagraphs, classes %v, LSN %d",
+			snapshot, time.Since(start).Seconds(), eng.NumMetagraphs(), eng.Classes(), eng.LSN())
 		return eng, nil
 	}
 
@@ -162,10 +262,13 @@ func buildEngine(snapshot, dsName string, users int, classes string, candidates,
 	return eng, nil
 }
 
-// writeSnapshot saves the engine atomically (temp file + rename), so a
-// crash mid-write never leaves a truncated snapshot behind.
+// writeSnapshot saves the engine atomically and durably: the bytes are
+// staged to a temp file, fsynced, renamed over the target, and the
+// directory entry is fsynced too — a crash at any point leaves either the
+// old snapshot or the new one, never a truncated hybrid.
 func writeSnapshot(path string, eng *semprox.Engine) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".semproxd-snap-*")
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".semproxd-snap-*")
 	if err != nil {
 		return err
 	}
@@ -174,8 +277,20 @@ func writeSnapshot(path string, eng *semprox.Engine) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }

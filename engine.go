@@ -94,6 +94,13 @@ type epoch struct {
 	// fold into flat storage.
 	version uint64
 	pending int
+
+	// lsn is the log sequence number of the last durable update applied:
+	// a write-ahead-logged update carries its WAL-assigned LSN through
+	// ApplyUpdateAt, recovery replays records with LSN > lsn, and a
+	// follower replica reports primaryLSN - lsn as its lag. Without a WAL
+	// it simply advances by one per update, mirroring version.
+	lsn uint64
 }
 
 // classModel is the learned state of one semantic class.
@@ -160,6 +167,12 @@ func (e *Engine) Graph() *Graph { return e.cur.Load().g }
 // Epoch returns the serving epoch counter: 0 for a freshly built engine,
 // +1 per ApplyUpdate, preserved across Save/LoadEngine.
 func (e *Engine) Epoch() uint64 { return e.cur.Load().version }
+
+// LSN returns the log sequence number of the last update applied: the
+// position of this engine in its write-ahead log (see internal/wal).
+// Snapshots persist it (wire v3), so recovery knows exactly which WAL
+// records the snapshot already covers. Safe for concurrent use.
+func (e *Engine) LSN() uint64 { return e.cur.Load().lsn }
 
 // SetWorkers overrides Options.Workers (values < 1 mean one worker per
 // CPU). A snapshot-loaded engine carries the worker count of the host
@@ -287,6 +300,7 @@ func (e *Engine) Train(class string, examples []Example) {
 		metaIx:  metaIx,
 		classes: withClass(ep.classes, class, cm),
 		version: ep.version,
+		lsn:     ep.lsn,
 	})
 }
 
@@ -312,6 +326,7 @@ func (e *Engine) TrainDualStage(class string, examples []Example, numCandidates 
 		metaIx:  metaIx,
 		classes: withClass(ep.classes, class, cm),
 		version: ep.version,
+		lsn:     ep.lsn,
 	})
 }
 

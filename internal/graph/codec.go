@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec for Delta. The write-ahead log (internal/wal) and the
+// replication stream (internal/replica) both carry deltas as opaque byte
+// payloads, so the encoding is compact (varints, length-prefixed strings)
+// and self-delimiting, and the decoder is hardened against arbitrary
+// bytes: it returns an error — never panics, never over-allocates — on any
+// input it did not produce (fuzzed by FuzzDeltaDecode).
+//
+// Layout (all integers unsigned varints):
+//
+//	numNodes
+//	  per node: len(Type) Type-bytes len(Value) Value-bytes
+//	numEdges
+//	  per edge: uint32(U) uint32(V)
+//
+// Node ids are encoded through uint32 so the full int32 range —
+// including InvalidNode in malformed deltas — round-trips; Apply remains
+// the layer that rejects out-of-range endpoints.
+
+// maxDeltaString bounds one encoded type or value string; longer strings
+// indicate a corrupt stream, not a plausible delta.
+const maxDeltaString = 1 << 20
+
+// AppendDelta appends the binary encoding of d to buf and returns the
+// extended slice.
+func AppendDelta(buf []byte, d Delta) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(d.Nodes)))
+	for _, n := range d.Nodes {
+		buf = binary.AppendUvarint(buf, uint64(len(n.Type)))
+		buf = append(buf, n.Type...)
+		buf = binary.AppendUvarint(buf, uint64(len(n.Value)))
+		buf = append(buf, n.Value...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(d.Edges)))
+	for _, e := range d.Edges {
+		buf = binary.AppendUvarint(buf, uint64(uint32(e.U)))
+		buf = binary.AppendUvarint(buf, uint64(uint32(e.V)))
+	}
+	return buf
+}
+
+// EncodeDelta returns the binary encoding of d.
+func EncodeDelta(d Delta) []byte { return AppendDelta(nil, d) }
+
+// DecodeDelta parses an encoding produced by EncodeDelta/AppendDelta. The
+// whole input must be consumed — trailing bytes are an error, so a
+// length-prefixed container can detect corrupt framing.
+func DecodeDelta(b []byte) (Delta, error) {
+	d, rest, err := decodeDelta(b)
+	if err != nil {
+		return Delta{}, err
+	}
+	if len(rest) != 0 {
+		return Delta{}, fmt.Errorf("graph: delta decode: %d trailing bytes", len(rest))
+	}
+	return d, nil
+}
+
+// decodeDelta consumes one delta from the front of b.
+func decodeDelta(b []byte) (Delta, []byte, error) {
+	var d Delta
+	numNodes, b, err := decodeCount(b, "node count", 2)
+	if err != nil {
+		return Delta{}, nil, err
+	}
+	if numNodes > 0 {
+		d.Nodes = make([]DeltaNode, 0, numNodes)
+	}
+	for i := 0; i < numNodes; i++ {
+		var typ, val string
+		if typ, b, err = decodeString(b, "node type"); err != nil {
+			return Delta{}, nil, err
+		}
+		if val, b, err = decodeString(b, "node value"); err != nil {
+			return Delta{}, nil, err
+		}
+		d.Nodes = append(d.Nodes, DeltaNode{Type: typ, Value: val})
+	}
+	numEdges, b, err := decodeCount(b, "edge count", 2)
+	if err != nil {
+		return Delta{}, nil, err
+	}
+	if numEdges > 0 {
+		d.Edges = make([]Edge, 0, numEdges)
+	}
+	for i := 0; i < numEdges; i++ {
+		var u, v NodeID
+		if u, b, err = decodeNodeID(b, "edge endpoint"); err != nil {
+			return Delta{}, nil, err
+		}
+		if v, b, err = decodeNodeID(b, "edge endpoint"); err != nil {
+			return Delta{}, nil, err
+		}
+		d.Edges = append(d.Edges, Edge{U: u, V: v})
+	}
+	return d, b, nil
+}
+
+// decodeCount reads an element count and rejects values that cannot fit in
+// the remaining input (each element needs at least minBytes bytes), so a
+// corrupt count can never drive a giant allocation.
+func decodeCount(b []byte, what string, minBytes int) (int, []byte, error) {
+	n, b, err := decodeUvarint(b, what)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(len(b)/minBytes) {
+		return 0, nil, fmt.Errorf("graph: delta decode: %s %d exceeds remaining input", what, n)
+	}
+	return int(n), b, nil
+}
+
+// decodeString reads one length-prefixed string.
+func decodeString(b []byte, what string) (string, []byte, error) {
+	n, b, err := decodeUvarint(b, what)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > maxDeltaString || n > uint64(len(b)) {
+		return "", nil, fmt.Errorf("graph: delta decode: %s length %d exceeds remaining input", what, n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// decodeNodeID reads one node id (encoded through uint32).
+func decodeNodeID(b []byte, what string) (NodeID, []byte, error) {
+	n, b, err := decodeUvarint(b, what)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > math.MaxUint32 {
+		return 0, nil, fmt.Errorf("graph: delta decode: %s %d exceeds uint32", what, n)
+	}
+	return NodeID(int32(uint32(n))), b, nil
+}
+
+// decodeUvarint reads one varint, mapping truncation and overflow to
+// errors.
+func decodeUvarint(b []byte, what string) (uint64, []byte, error) {
+	n, size := binary.Uvarint(b)
+	if size <= 0 {
+		return 0, nil, fmt.Errorf("graph: delta decode: truncated or oversized %s varint", what)
+	}
+	return n, b[size:], nil
+}

@@ -1,0 +1,241 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	semprox "repro"
+	"repro/internal/graph"
+)
+
+// Follower keeps a local engine converged with a primary: Bootstrap
+// fetches a full snapshot (arriving at the primary's engine state at some
+// LSN), then Run streams /replicate/since records and applies each at its
+// original LSN through Engine.ApplyUpdateAt — the same epoch-swap
+// machinery the primary used, so local reads are lock-free during
+// catch-up and the follower at LSN N answers queries byte-identically to
+// the primary at LSN N.
+type Follower struct {
+	primary string // base URL, e.g. http://127.0.0.1:8080
+	client  *http.Client
+
+	// Workers retunes the bootstrapped engine for this host (the snapshot
+	// carries the primary's setting); <= 0 keeps one worker per CPU.
+	Workers int
+	// PollWait is the long-poll duration requested per since call.
+	PollWait time.Duration
+	// MaxBatch bounds the records requested per since call.
+	MaxBatch int
+	// Backoff is the pause after a failed poll before retrying.
+	Backoff time.Duration
+
+	eng     atomic.Pointer[semprox.Engine]
+	applied atomic.Uint64 // LSN of the last record applied locally
+	target  atomic.Uint64 // primary durable LSN as of the last poll
+	polled  atomic.Bool   // at least one successful poll completed
+}
+
+// NewFollower returns a follower of the primary at baseURL. Call
+// Bootstrap (or Run, which bootstraps if needed) before serving reads.
+func NewFollower(baseURL string, client *http.Client) *Follower {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Follower{
+		primary:  baseURL,
+		client:   client,
+		PollWait: 10 * time.Second,
+		MaxBatch: DefaultMaxBatch,
+		Backoff:  500 * time.Millisecond,
+	}
+}
+
+// Engine returns the local serving engine (nil before Bootstrap).
+func (f *Follower) Engine() *semprox.Engine { return f.eng.Load() }
+
+// Bootstrap downloads a snapshot from the primary and installs the
+// loaded engine. The snapshot's LSN becomes the stream position: Run
+// resumes exactly where the snapshot ends.
+func (f *Follower) Bootstrap(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.primary+"/replicate/snapshot", nil)
+	if err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: bootstrap: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replica: bootstrap: primary returned %d: %s", resp.StatusCode, body)
+	}
+	eng, err := semprox.LoadEngine(resp.Body)
+	if err != nil {
+		return fmt.Errorf("replica: bootstrap: %w", err)
+	}
+	eng.SetWorkers(f.Workers)
+	f.eng.Store(eng)
+	f.applied.Store(eng.LSN())
+	return nil
+}
+
+// Run bootstraps (if Bootstrap was not already called) and then streams
+// records until ctx ends, applying each through the epoch machinery and
+// compacting the accumulated overlays after every applied batch.
+// Transient primary failures back off and retry. Divergence — a stream
+// gap (the primary truncated its log past this follower), an
+// undecodable record, or a record the local engine rejects — drops
+// readiness (so /readyz goes 503 and load balancers stop routing here)
+// and re-bootstraps a fresh snapshot from the primary. Run returns only
+// on context cancellation.
+func (f *Follower) Run(ctx context.Context) error {
+	if f.Engine() == nil {
+		if err := f.Bootstrap(ctx); err != nil {
+			return err
+		}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		applied, err := f.pollOnce(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			var app *applyError
+			if errors.As(err, &app) {
+				// The local engine can never converge from here; only a
+				// fresh snapshot can. Stop reporting ready until a clean
+				// poll completes after re-bootstrap.
+				f.polled.Store(false)
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(f.Backoff):
+				}
+				if berr := f.Bootstrap(ctx); berr != nil && ctx.Err() != nil {
+					return ctx.Err()
+				}
+				continue
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(f.Backoff):
+			}
+			continue
+		}
+		if applied > 0 {
+			f.Engine().Compact()
+		}
+	}
+}
+
+// applyError marks a record the local engine rejected — divergence, not a
+// transient failure.
+type applyError struct{ err error }
+
+func (e *applyError) Error() string { return e.err.Error() }
+func (e *applyError) Unwrap() error { return e.err }
+
+// pollOnce issues one since request and applies its records, returning
+// how many were applied.
+func (f *Follower) pollOnce(ctx context.Context) (int, error) {
+	after := f.applied.Load()
+	u := fmt.Sprintf("%s/replicate/since?lsn=%d&max=%d&wait_ms=%d",
+		f.primary, after, f.MaxBatch, f.PollWait.Milliseconds())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, fmt.Errorf("replica: %w", err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("replica: poll: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("replica: poll: primary returned %d: %s", resp.StatusCode, body)
+	}
+	var sr sinceResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&sr); err != nil {
+		return 0, fmt.Errorf("replica: poll: %w", err)
+	}
+	eng := f.Engine()
+	applied := 0
+	for _, rec := range sr.Records {
+		cur := f.applied.Load()
+		if rec.LSN <= cur {
+			continue // duplicate delivery after a retry
+		}
+		if rec.LSN != cur+1 {
+			// A gap means the primary truncated its log past this
+			// follower's position: records cur+1..rec.LSN-1 are gone and
+			// applying anything later would silently diverge.
+			return applied, &applyError{fmt.Errorf("replica: stream gap: record %d after %d (primary log truncated past us)", rec.LSN, cur)}
+		}
+		d, err := graph.DecodeDelta(rec.Delta)
+		if err != nil {
+			return applied, &applyError{fmt.Errorf("replica: record %d: %w", rec.LSN, err)}
+		}
+		if _, err := eng.ApplyUpdateAt(d, rec.LSN); err != nil {
+			return applied, &applyError{fmt.Errorf("replica: apply record %d: %w", rec.LSN, err)}
+		}
+		f.applied.Store(rec.LSN)
+		applied++
+	}
+	if sr.LastLSN > f.target.Load() {
+		f.target.Store(sr.LastLSN)
+	}
+	f.polled.Store(true)
+	return applied, nil
+}
+
+// Status reports the follower's replication position: the LSN applied
+// locally, the primary's durable LSN as of the last successful poll, and
+// whether the follower is ready — bootstrapped, at least one poll
+// completed, and zero lag.
+func (f *Follower) Status() (applied, primaryLSN uint64, ready bool) {
+	applied = f.applied.Load()
+	primaryLSN = f.target.Load()
+	ready = f.Engine() != nil && f.polled.Load() && applied >= primaryLSN
+	return applied, primaryLSN, ready
+}
+
+// Lag returns primaryLSN - appliedLSN as of the last poll (0 when caught
+// up or not yet polled).
+func (f *Follower) Lag() uint64 {
+	applied, primaryLSN, _ := f.Status()
+	if primaryLSN <= applied {
+		return 0
+	}
+	return primaryLSN - applied
+}
+
+// PrimaryURL returns the primary base URL the follower replicates from.
+func (f *Follower) PrimaryURL() string { return f.primary }
+
+// ValidPrimaryURL rejects -follow values that cannot name a primary;
+// cmd/semproxd validates the flag before bootstrapping.
+func ValidPrimaryURL(s string) error {
+	u, err := url.Parse(s)
+	if err != nil {
+		return err
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("replica: primary URL %q must be http or https", s)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("replica: primary URL %q has no host", s)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	semprox "repro"
+	"repro/internal/graph"
+	"repro/internal/replica"
+	"repro/internal/wal"
+)
+
+// walServer is trainedServer with a WAL attached: the durable primary
+// configuration of semproxd -wal.
+func walServer(t *testing.T) (*Server, *wal.WAL, *semprox.Engine, *semprox.Graph) {
+	t.Helper()
+	s, eng, g := trainedServer(t)
+	w, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	s.AttachWAL(w)
+	return s, w, eng, g
+}
+
+func TestReadyzStandalone(t *testing.T) {
+	s, _, _ := trainedServer(t)
+	rec := do(t, s, http.MethodGet, "/readyz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body readyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ready" || body.Role != "standalone" || body.Lag != 0 {
+		t.Fatalf("readyz = %+v", body)
+	}
+}
+
+func TestReplicationDisabledWithoutWAL(t *testing.T) {
+	s, _, _ := trainedServer(t)
+	wantErr(t, do(t, s, http.MethodGet, "/replicate/since?lsn=0", ""),
+		http.StatusServiceUnavailable, "replication_disabled")
+	wantErr(t, do(t, s, http.MethodGet, "/replicate/snapshot", ""),
+		http.StatusServiceUnavailable, "replication_disabled")
+}
+
+// TestUpdateDurableAndReplicated drives one update through the durable
+// path and reads it back over every surface: the response LSN, /stats,
+// /readyz (primary role), the WAL itself, and /replicate/since.
+func TestUpdateDurableAndReplicated(t *testing.T) {
+	s, w, eng, _ := walServer(t)
+
+	rec := do(t, s, http.MethodPost, "/update",
+		`{"nodes":[{"type":"user","name":"zoe"}],"edges":[{"u":"zoe","v":"Kate"}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("update status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var ur updateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.LSN != 1 || ur.Epoch != 1 {
+		t.Fatalf("update response = %+v, want LSN 1 epoch 1", ur)
+	}
+	if w.DurableLSN() != 1 {
+		t.Fatalf("wal durable = %d, want 1", w.DurableLSN())
+	}
+	if eng.LSN() != 1 {
+		t.Fatalf("engine LSN = %d, want 1", eng.LSN())
+	}
+
+	rec = do(t, s, http.MethodGet, "/stats", "")
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LSN != 1 {
+		t.Fatalf("stats LSN = %d, want 1", st.LSN)
+	}
+
+	rec = do(t, s, http.MethodGet, "/readyz", "")
+	var rr readyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Role != "primary" || rr.Status != "ready" || rr.LSN != 1 {
+		t.Fatalf("readyz = %+v", rr)
+	}
+
+	// The logged record replays to the same delta the handler resolved.
+	rec = do(t, s, http.MethodGet, "/replicate/since?lsn=0", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("since status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var sr struct {
+		From    uint64 `json:"from"`
+		LastLSN uint64 `json:"last_lsn"`
+		Records []struct {
+			LSN   uint64 `json:"lsn"`
+			Delta []byte `json:"delta"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.LastLSN != 1 || len(sr.Records) != 1 || sr.Records[0].LSN != 1 {
+		t.Fatalf("since = %+v", sr)
+	}
+	d, err := graph.DecodeDelta(sr.Records[0].Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nodes) != 1 || d.Nodes[0].Value != "zoe" || len(d.Edges) != 1 {
+		t.Fatalf("replicated delta = %+v", d)
+	}
+
+	// Caught-up poll: empty records, last_lsn tells the follower where
+	// the primary is.
+	rec = do(t, s, http.MethodGet, "/replicate/since?lsn=1", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Records) != 0 || sr.LastLSN != 1 {
+		t.Fatalf("caught-up since = %+v", sr)
+	}
+}
+
+func TestReplicateSnapshotStreamsEngine(t *testing.T) {
+	s, _, eng, g := walServer(t)
+	rec := do(t, s, http.MethodGet, "/replicate/snapshot", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	loaded, err := semprox.LoadEngine(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := g.NodeByName("Kate")
+	want, _ := eng.Query("classmate", q, 5)
+	got, err := loaded.Query("classmate", q, 5)
+	if err != nil || len(got) != len(want) {
+		t.Fatalf("loaded snapshot query: %v (%d vs %d results)", err, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplicateSinceBadParams(t *testing.T) {
+	s, _, _, _ := walServer(t)
+	wantErr(t, do(t, s, http.MethodGet, "/replicate/since", ""), http.StatusBadRequest, "bad_request")
+	wantErr(t, do(t, s, http.MethodGet, "/replicate/since?lsn=x", ""), http.StatusBadRequest, "bad_request")
+	wantErr(t, do(t, s, http.MethodGet, "/replicate/since?lsn=0&max=0", ""), http.StatusBadRequest, "bad_request")
+	wantErr(t, do(t, s, http.MethodGet, "/replicate/since?lsn=0&wait_ms=-1", ""), http.StatusBadRequest, "bad_request")
+	wantErr(t, do(t, s, http.MethodPost, "/replicate/since?lsn=0", "{}"), http.StatusMethodNotAllowed, "method_not_allowed")
+}
+
+// TestFollowerServerIsReadOnly: a server flagged as follower refuses
+// /update and reports catching_up on /readyz until its follower is
+// bootstrapped and caught up.
+func TestFollowerServerIsReadOnly(t *testing.T) {
+	s, _, _ := trainedServer(t)
+	s.SetFollower(replica.NewFollower("http://primary.example:8080", nil))
+	wantErr(t, do(t, s, http.MethodPost, "/update",
+		`{"nodes":[{"type":"user","name":"zoe"}]}`), http.StatusServiceUnavailable, "not_primary")
+
+	rec := do(t, s, http.MethodGet, "/readyz", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz on unbootstrapped follower = %d, want 503", rec.Code)
+	}
+	var rr readyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != "catching_up" || rr.Role != "follower" {
+		t.Fatalf("readyz = %+v", rr)
+	}
+}

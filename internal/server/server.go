@@ -10,8 +10,14 @@
 //	POST /proximity  one pair score {"class","x","y"}
 //	POST /update     batched live node/edge additions
 //	                 {"nodes":[{"type","name"}],"edges":[{"u","v"}]}
-//	GET  /stats      serving epoch, graph counts, matched metagraphs,
-//	                 pending-compaction state
+//	GET  /stats      serving epoch + LSN, graph counts, matched
+//	                 metagraphs, pending-compaction state
+//	GET  /readyz     readiness: primaries are ready once serving;
+//	                 followers report replication lag and stay 503 until
+//	                 caught up
+//	GET  /replicate/snapshot   engine snapshot stream (follower bootstrap)
+//	GET  /replicate/since      WAL records after an LSN, long-polling
+//	                           (503 unless a WAL is attached)
 //
 // Every error is structured JSON — {"error":{"code","message"}} — with a
 // 4xx status for client mistakes (unknown class, node or type, malformed
@@ -21,6 +27,12 @@
 // updates apply, and overlays compact in the background: an update swaps
 // the serving epoch atomically, and a query sees the old epoch or the new
 // one, never a mix.
+//
+// Durability and roles: AttachWAL makes the server a primary — every
+// /update is appended and fsynced to the write-ahead log before it is
+// applied, and the /replicate endpoints feed followers. SetFollower makes
+// it a read replica — /update returns 503 (the primary owns writes) and
+// /readyz reports catch-up progress.
 package server
 
 import (
@@ -34,6 +46,8 @@ import (
 	"sync"
 
 	semprox "repro"
+	"repro/internal/replica"
+	"repro/internal/wal"
 )
 
 // MaxBatch bounds the queries accepted by one batched /query request; a
@@ -65,8 +79,16 @@ type Server struct {
 	// calling ApplyUpdate; two concurrent handlers predicting off the
 	// same epoch would race to the same ids and silently cross-wire their
 	// edges, so the whole read-resolve-apply sequence is one critical
-	// section. Queries never touch this lock.
+	// section — including the WAL append, which must reach the log in
+	// apply order. Queries never touch this lock.
 	updateMu sync.Mutex
+	// log, when attached, makes every /update durable before it applies;
+	// primary then serves it to followers over /replicate.
+	log     *wal.WAL
+	primary *replica.Primary
+	// follower, when set, marks this server a read replica: /update is
+	// refused and /readyz reports replication lag.
+	follower *replica.Follower
 }
 
 // New wraps an engine in an HTTP handler with background compaction after
@@ -79,8 +101,25 @@ func New(eng *semprox.Engine) *Server {
 	s.mux.HandleFunc("/proximity", s.handleProximity)
 	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/replicate/since", s.handleReplicateSince)
+	s.mux.HandleFunc("/replicate/snapshot", s.handleReplicateSnapshot)
 	return s
 }
+
+// AttachWAL makes the server a primary: every accepted /update is
+// appended (and fsynced, via the log's group commit) to w before it is
+// applied to the engine, and the /replicate endpoints serve the log to
+// followers. Call before serving.
+func (s *Server) AttachWAL(w *wal.WAL) {
+	s.log = w
+	s.primary = replica.NewPrimary(s.eng, w)
+}
+
+// SetFollower marks the server a read replica fed by f: /update returns
+// 503 (writes belong to the primary) and /readyz reports catch-up state.
+// Call before serving.
+func (s *Server) SetFollower(f *replica.Follower) { s.follower = f }
 
 // SetAutoCompact toggles background compaction after updates. Call before
 // serving; with it off, /stats keeps reporting the pending overlays until
@@ -116,6 +155,16 @@ func errBadRequest(format string, args ...any) *httpError {
 // errNotFound builds a 404 with the given code.
 func errNotFound(code, format string, args ...any) *httpError {
 	return &httpError{http.StatusNotFound, apiError{code, fmt.Sprintf(format, args...)}}
+}
+
+// errUnavailable builds a 503 with the given code.
+func errUnavailable(code, format string, args ...any) *httpError {
+	return &httpError{http.StatusServiceUnavailable, apiError{code, fmt.Sprintf(format, args...)}}
+}
+
+// errInternal builds a 500 with code "internal".
+func errInternal(format string, args ...any) *httpError {
+	return &httpError{http.StatusInternalServerError, apiError{"internal", fmt.Sprintf(format, args...)}}
 }
 
 // writeJSON writes v with the given status.
@@ -381,6 +430,7 @@ type updateRequest struct {
 // updateResponse reports what the update did.
 type updateResponse struct {
 	Epoch             uint64 `json:"epoch"`
+	LSN               uint64 `json:"lsn"`
 	NodesAdded        int    `json:"nodes_added"`
 	EdgesAdded        int    `json:"edges_added"`
 	Rematched         int    `json:"rematched"`
@@ -389,6 +439,11 @@ type updateResponse struct {
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodPost) {
+		return
+	}
+	if s.follower != nil {
+		writeErr(w, errUnavailable("not_primary",
+			"this replica is read-only; send updates to the primary at %s", s.follower.PrimaryURL()))
 		return
 	}
 	var req updateRequest
@@ -462,7 +517,21 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		d.Edges[i] = semprox.Edge{U: u, V: v}
 	}
-	st, err := s.eng.ApplyUpdate(d)
+	// Durability before visibility: the delta reaches the fsynced log
+	// first, then the engine, both inside updateMu so log order equals
+	// apply order. A crash between the two replays the record on boot.
+	var st semprox.UpdateStats
+	var err error
+	if s.log != nil {
+		lsn, aerr := s.log.Append(d)
+		if aerr != nil {
+			writeErr(w, errInternal("wal append: %v", aerr))
+			return
+		}
+		st, err = s.eng.ApplyUpdateAt(d, lsn)
+	} else {
+		st, err = s.eng.ApplyUpdate(d)
+	}
 	if err != nil {
 		// Everything client-controlled was validated above; a residual
 		// failure still maps to a 400 with the engine's reason.
@@ -478,6 +547,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, updateResponse{
 		Epoch:             st.Epoch,
+		LSN:               st.LSN,
 		NodesAdded:        st.NodesAdded,
 		EdgesAdded:        st.EdgesAdded,
 		Rematched:         st.Rematched,
@@ -488,6 +558,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // statsResponse is the /stats body.
 type statsResponse struct {
 	Epoch             uint64   `json:"epoch"`
+	LSN               uint64   `json:"lsn"`
 	Nodes             int      `json:"nodes"`
 	Edges             int      `json:"edges"`
 	Types             int      `json:"types"`
@@ -504,6 +575,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Epoch:             st.Epoch,
+		LSN:               st.LSN,
 		Nodes:             st.Nodes,
 		Edges:             st.Edges,
 		Types:             st.Types,
@@ -512,6 +584,79 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PendingCompaction: st.PendingCompaction,
 		Classes:           st.Classes,
 	})
+}
+
+// readyResponse is the /readyz body. Role is "primary" (WAL attached),
+// "follower", or "standalone" (no durability configured). A follower is
+// ready — HTTP 200 — only once it has bootstrapped, polled the primary at
+// least once, and applied everything the primary had; until then /readyz
+// is 503 so load balancers keep traffic on caught-up replicas.
+type readyResponse struct {
+	Status     string `json:"status"` // "ready" or "catching_up"
+	Role       string `json:"role"`
+	LSN        uint64 `json:"lsn"`
+	PrimaryLSN uint64 `json:"primary_lsn,omitempty"`
+	Lag        uint64 `json:"lag"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	if s.follower != nil {
+		applied, primaryLSN, ready := s.follower.Status()
+		resp := readyResponse{Status: "ready", Role: "follower", LSN: applied, PrimaryLSN: primaryLSN, Lag: s.follower.Lag()}
+		status := http.StatusOK
+		if !ready {
+			resp.Status = "catching_up"
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, resp)
+		return
+	}
+	role := "standalone"
+	if s.log != nil {
+		role = "primary"
+	}
+	writeJSON(w, http.StatusOK, readyResponse{Status: "ready", Role: role, LSN: s.eng.LSN()})
+}
+
+func (s *Server) handleReplicateSince(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	if s.primary == nil {
+		writeErr(w, errUnavailable("replication_disabled",
+			"no write-ahead log attached (start with -wal to serve followers)"))
+		return
+	}
+	status, body, err := s.primary.ServeSince(r)
+	if err != nil {
+		code := "bad_request"
+		if status >= 500 {
+			code = "internal"
+		}
+		writeErr(w, &httpError{status, apiError{code, err.Error()}})
+		return
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleReplicateSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	if s.primary == nil {
+		writeErr(w, errUnavailable("replication_disabled",
+			"no write-ahead log attached (start with -wal to serve followers)"))
+		return
+	}
+	// The snapshot streams straight from one immutable epoch; an error
+	// after the first byte cannot become a structured response, so the
+	// client detects it as a truncated gob stream.
+	if err := s.primary.ServeSnapshot(w, r); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // proximityRequest is the /proximity body.

@@ -1,0 +1,546 @@
+// Package wal is the durability substrate of the live-update path: a
+// write-ahead log of graph.Delta records. Every update a primary accepts
+// is appended — and fsynced — here before it is applied to the serving
+// engine, so a crash loses nothing: recovery loads the newest snapshot and
+// replays the log tail (semprox.ReplayWAL), and a follower replica streams
+// the same records over HTTP (internal/replica) to stay byte-identical
+// with the primary.
+//
+// On-disk layout: a directory of segment files named
+// wal-<firstLSN:016x>.seg. Each segment starts with an 16-byte header
+// (magic + the first LSN it stores, big endian) followed by records:
+//
+//	uint32 length | uint32 CRC32-C of payload | payload
+//	payload = uvarint LSN ++ graph.AppendDelta encoding
+//
+// LSNs (log sequence numbers) are assigned contiguously from 1 (or
+// Options.BaseLSN+1), one per appended delta, and match the engine's LSN
+// counter: a snapshot taken at LSN L is superseded exactly by the records
+// with LSN > L.
+//
+// Durability: Append batches fsyncs through a single group-commit
+// goroutine — concurrent appenders enqueue encoded records and block until
+// the syncer has written AND fsynced their record, so one fsync commits a
+// whole convoy under load, and an Append that returned nil is on disk. A
+// torn tail write (crash mid-record) is detected by length/CRC at Open and
+// truncated away; corruption in any sealed (non-final) segment is an
+// error, never silently skipped.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+const (
+	// segMagic opens every segment file.
+	segMagic = "SPXWAL01"
+	// headerSize is the segment header: magic plus the first LSN.
+	headerSize = len(segMagic) + 8
+	// frameSize prefixes every record: payload length plus CRC.
+	frameSize = 8
+	// MaxRecordBytes bounds one record payload; larger lengths in a frame
+	// indicate corruption, and larger deltas must be split by the caller.
+	MaxRecordBytes = 1 << 26
+	// DefaultSegmentBytes is the rotation threshold when Options leaves
+	// SegmentBytes unset.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// castagnoli is the CRC32-C table used for record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Open.
+type Options struct {
+	// SegmentBytes rotates to a fresh segment once the active one reaches
+	// this size (checked between group commits). <= 0 means
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// BaseLSN seeds the LSN counter when the directory holds no records:
+	// the first append gets BaseLSN+1. Use the LSN of the snapshot the
+	// engine booted from so log and engine stay aligned. Ignored when the
+	// directory already has records.
+	BaseLSN uint64
+}
+
+// Record is one logged delta.
+type Record struct {
+	LSN   uint64
+	Delta graph.Delta
+}
+
+// segment tracks one on-disk segment file.
+type segment struct {
+	path  string
+	first uint64 // first LSN the segment stores (header-declared)
+	last  uint64 // last LSN written, 0 while empty
+}
+
+// WAL is an append-only log of deltas. All methods are safe for
+// concurrent use.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond // guards + signals pending/durable/err transitions
+
+	// pending holds encoded frames not yet handed to the syncer;
+	// pendingFirst/pendingLast are the LSN range inside it.
+	pending      []byte
+	pendingFirst uint64
+	pendingLast  uint64
+
+	next    uint64 // next LSN to assign
+	durable uint64 // highest LSN fsynced to disk
+	err     error  // sticky I/O failure; fails all later appends
+	closed  bool
+
+	active     *os.File
+	activeSize int64
+	segments   []segment
+
+	// watch is closed and replaced every time durable advances, so
+	// WaitSince can block without polling.
+	watch chan struct{}
+
+	// tail is an in-memory copy of the most recent records (encoded
+	// delta payloads), so steady-state replication polls (Since/SinceRaw
+	// for an almost-caught-up follower) never touch disk. Bounded by
+	// tailMaxRecords/tailMaxBytes; older reads fall back to the segment
+	// files.
+	tail      []tailRec
+	tailBytes int
+
+	syncerDone chan struct{}
+}
+
+// tailRec is one in-memory record: the LSN and the encoded delta.
+type tailRec struct {
+	lsn   uint64
+	delta []byte
+}
+
+const (
+	tailMaxRecords = 1024
+	tailMaxBytes   = 4 << 20
+)
+
+// Open opens (creating if needed) the log in dir and recovers its tail: a
+// torn or corrupt trailing record in the final segment is truncated away,
+// while corruption in a sealed segment is an error. The returned WAL is
+// ready to append at LSN DurableLSN()+1.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, watch: make(chan struct{}), syncerDone: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	if err := w.recover(); err != nil {
+		return nil, err
+	}
+	go w.syncLoop()
+	return w, nil
+}
+
+// segmentPath names the segment whose first record is lsn.
+func (w *WAL) segmentPath(lsn uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("wal-%016x.seg", lsn))
+}
+
+// parseSegmentName extracts the first-LSN of a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// recover scans the directory, validates every segment, truncates a torn
+// tail, and positions the log for appending.
+func (w *WAL) recover() error {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		first, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		w.segments = append(w.segments, segment{path: filepath.Join(w.dir, e.Name()), first: first})
+	}
+	sort.Slice(w.segments, func(i, j int) bool { return w.segments[i].first < w.segments[j].first })
+
+	// A crash between rotate's segment creation and its first write (or
+	// header fsync) can leave a trailing segment shorter than its header.
+	// That is a torn creation, not data: drop it and let the previous
+	// segment resume as the active one (rotation will simply re-trigger).
+	for len(w.segments) > 0 {
+		last := w.segments[len(w.segments)-1]
+		st, err := os.Stat(last.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if st.Size() >= int64(headerSize) {
+			break
+		}
+		if err := os.Remove(last.path); err != nil {
+			return fmt.Errorf("wal: drop torn segment: %w", err)
+		}
+		if err := syncDir(w.dir); err != nil {
+			return err
+		}
+		w.segments = w.segments[:len(w.segments)-1]
+	}
+
+	if len(w.segments) == 0 {
+		return w.openFresh(w.opts.BaseLSN + 1)
+	}
+
+	expect := w.segments[0].first
+	for i := range w.segments {
+		seg := &w.segments[i]
+		if seg.first != expect {
+			return fmt.Errorf("wal: segment %s starts at LSN %d, want %d (missing segment?)",
+				seg.path, seg.first, expect)
+		}
+		final := i == len(w.segments)-1
+		size, last, err := scanSegment(seg.path, seg.first, !final, nil)
+		if err != nil {
+			return err
+		}
+		seg.last = last
+		if final {
+			// Truncate a torn tail (no-op when the scan consumed the whole
+			// file) and reopen for appending.
+			f, err := os.OpenFile(seg.path, os.O_RDWR, 0o644)
+			if err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			if st, err := f.Stat(); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: %w", err)
+			} else if st.Size() > size {
+				if err := f.Truncate(size); err != nil {
+					f.Close()
+					return fmt.Errorf("wal: truncate torn tail of %s: %w", seg.path, err)
+				}
+				if err := f.Sync(); err != nil {
+					f.Close()
+					return fmt.Errorf("wal: %w", err)
+				}
+			}
+			if _, err := f.Seek(size, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: %w", err)
+			}
+			w.active = f
+			w.activeSize = size
+		}
+		if last > 0 {
+			expect = last + 1
+		}
+	}
+	// expect accumulated to lastRecorded+1 (or stayed at the first
+	// segment's declared first when the log holds no records yet): the
+	// next append continues exactly where the disk state ends.
+	w.next = expect
+	w.durable = expect - 1
+	return nil
+}
+
+// openFresh creates the first segment of an empty log.
+func (w *WAL) openFresh(first uint64) error {
+	f, size, err := createSegment(w.segmentPath(first), first)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.active = f
+	w.activeSize = size
+	w.segments = []segment{{path: f.Name(), first: first}}
+	w.next = first
+	w.durable = first - 1
+	return nil
+}
+
+// createSegment writes a new segment file with its header, fsynced.
+func createSegment(path string, first uint64) (*os.File, int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.BigEndian.AppendUint64(hdr, first)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	return f, int64(headerSize), nil
+}
+
+// syncDir fsyncs a directory so freshly created/removed names survive a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Append encodes d as the next record, hands it to the group-commit
+// goroutine, and blocks until the record is written and fsynced. It
+// returns the record's LSN. Concurrent appenders share fsyncs: all
+// records that accumulate while one sync is in flight commit with the
+// next single sync.
+func (w *WAL) Append(d graph.Delta) (uint64, error) {
+	body := graph.EncodeDelta(d)
+	if len(body)+binary.MaxVarintLen64 > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: delta encodes to %d bytes, limit %d", len(body), MaxRecordBytes)
+	}
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("wal: closed")
+	}
+	lsn := w.next
+	payload := append(binary.AppendUvarint(make([]byte, 0, binary.MaxVarintLen64+len(body)), lsn), body...)
+	w.next++
+	if len(w.pending) == 0 {
+		w.pendingFirst = lsn
+	}
+	var frame [frameSize]byte
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	w.pending = append(append(w.pending, frame[:]...), payload...)
+	w.pendingLast = lsn
+	w.tail = append(w.tail, tailRec{lsn: lsn, delta: body})
+	w.tailBytes += len(body)
+	for len(w.tail) > tailMaxRecords || (w.tailBytes > tailMaxBytes && len(w.tail) > 1) {
+		w.tailBytes -= len(w.tail[0].delta)
+		w.tail = w.tail[1:]
+	}
+	w.cond.Broadcast()
+	for w.err == nil && w.durable < lsn {
+		w.cond.Wait()
+	}
+	err := w.err
+	w.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// syncLoop is the group-commit goroutine: it drains whatever records
+// accumulated since the last sync, writes them with one write + one
+// fsync, rotates segments at the size threshold, and wakes the appenders
+// whose records just became durable.
+func (w *WAL) syncLoop() {
+	defer close(w.syncerDone)
+	for {
+		w.mu.Lock()
+		for len(w.pending) == 0 && !w.closed && w.err == nil {
+			w.cond.Wait()
+		}
+		if w.err != nil || (w.closed && len(w.pending) == 0) {
+			w.mu.Unlock()
+			return
+		}
+		batch := w.pending
+		first, last := w.pendingFirst, w.pendingLast
+		w.pending = nil
+		rotate := w.activeSize >= w.opts.SegmentBytes
+		w.mu.Unlock()
+
+		var failure error
+		if rotate {
+			failure = w.rotate(first)
+		}
+		if failure == nil {
+			if _, err := w.active.Write(batch); err != nil {
+				failure = fmt.Errorf("wal: write: %w", err)
+			} else if err := w.active.Sync(); err != nil {
+				failure = fmt.Errorf("wal: fsync: %w", err)
+			}
+		}
+
+		w.mu.Lock()
+		if failure != nil {
+			w.err = failure
+			close(w.watch) // wake WaitSince pollers; they observe err
+			w.watch = make(chan struct{})
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return
+		}
+		w.activeSize += int64(len(batch))
+		w.segments[len(w.segments)-1].last = last
+		w.durable = last
+		close(w.watch)
+		w.watch = make(chan struct{})
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// rotate seals the active segment and opens a fresh one whose first
+// record will be firstLSN. Called only from syncLoop.
+func (w *WAL) rotate(firstLSN uint64) error {
+	if err := w.active.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync before rotate: %w", err)
+	}
+	if err := w.active.Close(); err != nil {
+		return fmt.Errorf("wal: close sealed segment: %w", err)
+	}
+	f, size, err := createSegment(w.segmentPath(firstLSN), firstLSN)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.mu.Lock()
+	w.active = f
+	w.activeSize = size
+	w.segments = append(w.segments, segment{path: f.Name(), first: firstLSN})
+	w.mu.Unlock()
+	return nil
+}
+
+// DurableLSN returns the highest LSN fsynced to disk (0 for an empty
+// log): everything up to and including it survives a crash.
+func (w *WAL) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+// NextLSN returns the LSN the next Append will be assigned.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.next
+}
+
+// FirstLSN returns the lowest LSN still present in the log, or 0 when the
+// log holds no records (everything was truncated or nothing was ever
+// appended).
+func (w *WAL) FirstLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, s := range w.segments {
+		if s.last > 0 {
+			return s.first
+		}
+	}
+	return 0
+}
+
+// SegmentCount reports how many segment files the log currently spans.
+func (w *WAL) SegmentCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.segments)
+}
+
+// TruncateThrough deletes every sealed segment whose records are all
+// <= lsn — call it after a snapshot at LSN lsn made that prefix
+// redundant. The active segment is never deleted.
+func (w *WAL) TruncateThrough(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := w.segments[:0]
+	removed := false
+	for i, s := range w.segments {
+		sealed := i < len(w.segments)-1
+		// A sealed segment's range is [s.first, next segment's first - 1]
+		// even if it holds no records; s.last covers the recorded case.
+		end := s.last
+		if sealed {
+			if n := w.segments[i+1].first; n > 0 {
+				end = n - 1
+			}
+		}
+		if sealed && end <= lsn {
+			if err := os.Remove(s.path); err != nil {
+				w.segments = append(kept, w.segments[i:]...)
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+			removed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	w.segments = kept
+	if removed {
+		return syncDir(w.dir)
+	}
+	return nil
+}
+
+// Close flushes every pending append, stops the group-commit goroutine,
+// and closes the active segment. Appends issued after Close fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-w.syncerDone
+	w.mu.Lock()
+	err := w.err
+	close(w.watch) // wake WaitSince pollers; they observe closed
+	w.watch = make(chan struct{})
+	w.mu.Unlock()
+	if cerr := w.active.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}

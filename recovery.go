@@ -1,0 +1,54 @@
+package semprox
+
+import (
+	"fmt"
+
+	"repro/internal/wal"
+)
+
+// Crash recovery. A write-ahead-logged deployment (semproxd -wal) makes
+// every applied update durable before serving it: the delta is appended
+// and fsynced to the log, then applied at the LSN the log assigned. On a
+// crash — no clean shutdown, overlays uncompacted, snapshot arbitrarily
+// stale — recovery is: load the newest snapshot (LSN L), open the WAL
+// (which heals any torn tail), and ReplayWAL the records with LSN > L.
+// The recovered engine is byte-identical to one that never crashed
+// (property-tested in recovery_test.go), because ApplyUpdateAt is
+// deterministic and replay re-applies exactly the suffix the snapshot
+// misses.
+
+// ReplayWAL applies every logged record beyond the engine's current LSN,
+// in order, and returns how many it applied. Records at or below the
+// engine's LSN are already part of its state (the snapshot covered them)
+// and are skipped. An application error aborts the replay: a record the
+// engine rejects means the log and the snapshot disagree about the graph,
+// which is corruption, not something to paper over.
+//
+// ReplayWAL fails up front on either misalignment between log and
+// engine: a log missing records the engine needs (its first retained LSN
+// is beyond engine LSN + 1 — the snapshot predates the log's truncation
+// horizon), or a log that ends BEHIND the engine (a stale WAL directory
+// paired with a newer snapshot) — serving in that state would assign
+// future appends LSNs the engine rejects, durably logging records that
+// never apply.
+func ReplayWAL(e *Engine, w *wal.WAL) (int, error) {
+	at := e.LSN()
+	if first := w.FirstLSN(); first > at+1 {
+		return 0, fmt.Errorf("semprox: wal starts at LSN %d but engine is at %d: snapshot predates log truncation", first, at)
+	}
+	if next := w.NextLSN(); next <= at {
+		return 0, fmt.Errorf("semprox: wal ends at LSN %d but engine is at %d: stale log directory for this snapshot", next-1, at)
+	}
+	applied := 0
+	err := w.Replay(at, func(r wal.Record) error {
+		if _, err := e.ApplyUpdateAt(r.Delta, r.LSN); err != nil {
+			return fmt.Errorf("semprox: replay LSN %d: %w", r.LSN, err)
+		}
+		applied++
+		return nil
+	})
+	if err != nil {
+		return applied, err
+	}
+	return applied, nil
+}

@@ -25,9 +25,11 @@ import (
 //
 // A live-updated engine round-trips too: the graph text format
 // materializes the copy-on-write overlay, update overlays on the indices
-// compact on the way out (index.Write), and the epoch counter rides in the
-// snapshot header — so a loaded engine resumes at the saved epoch with
-// nothing pending, answering exactly as the saved one did.
+// compact on the way out (index.Write), and the epoch counter plus the
+// durable log position (LSN) ride in the snapshot header — so a loaded
+// engine resumes at the saved epoch with nothing pending, answering
+// exactly as the saved one did, and recovery knows which WAL records the
+// snapshot already covers (see ReplayWAL).
 
 // snapMetagraph rebuilds one metagraph via metagraph.New.
 type snapMetagraph struct {
@@ -55,6 +57,7 @@ type snapClass struct {
 type snapshot struct {
 	Version    int
 	Epoch      uint64 // serving epoch counter (v2+; zero for v1 streams)
+	LSN        uint64 // durable log position (v3+; see loadLSN for v1/v2)
 	Graph      []byte // graph.Write text format
 	AnchorType string
 	Opts       Options
@@ -64,8 +67,18 @@ type snapshot struct {
 }
 
 // snapshotVersion is the current wire version. Version 1 (pre-live-update,
-// no epoch counter) streams still load, resuming at epoch 0.
-const snapshotVersion = 2
+// no epoch counter) still loads, resuming at epoch 0; version 2 (epoch but
+// no LSN) loads with the LSN anchored to the epoch counter, which is what
+// the LSN of a WAL-less engine would have been.
+const snapshotVersion = 3
+
+// loadLSN maps a decoded snapshot to the engine LSN it represents.
+func loadLSN(s *snapshot) uint64 {
+	if s.Version >= 3 {
+		return s.LSN
+	}
+	return s.Epoch
+}
 
 // Save serializes the engine so LoadEngine can restore it without mining,
 // matching or training. Classes are written in sorted name order and every
@@ -82,6 +95,7 @@ func (e *Engine) Save(w io.Writer) error {
 	s := snapshot{
 		Version:    snapshotVersion,
 		Epoch:      ep.version,
+		LSN:        ep.lsn,
 		Graph:      gbuf.Bytes(),
 		AnchorType: ep.g.Types().Name(e.anchor),
 		Opts:       e.opts,
@@ -168,6 +182,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		metaIx:  make([]*index.Index, len(e.ms)),
 		classes: make(map[string]*classModel, len(s.Classes)),
 		version: s.Epoch,
+		lsn:     loadLSN(&s),
 	}
 	for _, p := range s.Parts {
 		if p.Slot < 0 || p.Slot >= len(e.ms) {

@@ -1,6 +1,7 @@
 package semprox
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/graph"
@@ -36,6 +37,9 @@ type Edge = graph.Edge
 type UpdateStats struct {
 	// Epoch is the serving epoch after the swap.
 	Epoch uint64
+	// LSN is the log sequence number the update was applied at (see
+	// ApplyUpdateAt); without a WAL it advances by one per update.
+	LSN uint64
 	// NodesAdded and EdgesAdded count the delta's genuinely new nodes and
 	// edges (self loops, duplicates and already-present edges excluded).
 	NodesAdded, EdgesAdded int
@@ -66,15 +70,43 @@ type UpdateStats struct {
 // (typically from a background goroutine, as cmd/semproxd does) to fold
 // them into flat storage.
 func (e *Engine) ApplyUpdate(d Delta) (UpdateStats, error) {
+	return e.applyUpdate(d, 0)
+}
+
+// ApplyUpdateAt is ApplyUpdate with an explicit log sequence number: the
+// next epoch records lsn as its durable position. This is how the WAL
+// threads through the engine — a primary appends the delta to its log
+// first and applies it at the LSN the log assigned; recovery and follower
+// replicas re-apply logged records at their original LSNs, so the
+// recovered (or replicated) engine ends at exactly the primary's
+// position. lsn must exceed the engine's current LSN (records at or
+// below it are already part of this engine's state; callers skip them).
+func (e *Engine) ApplyUpdateAt(d Delta, lsn uint64) (UpdateStats, error) {
+	if lsn == 0 {
+		return UpdateStats{}, fmt.Errorf("semprox: ApplyUpdateAt: LSN must be positive")
+	}
+	return e.applyUpdate(d, lsn)
+}
+
+// applyUpdate builds and publishes the next epoch; lsn == 0 means "no
+// WAL": advance the epoch's LSN by one so the counter still tracks update
+// count.
+func (e *Engine) applyUpdate(d Delta, lsn uint64) (UpdateStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ep := e.cur.Load()
+	if lsn == 0 {
+		lsn = ep.lsn + 1
+	} else if lsn <= ep.lsn {
+		return UpdateStats{}, fmt.Errorf("semprox: ApplyUpdateAt: LSN %d not beyond engine LSN %d", lsn, ep.lsn)
+	}
 	ng, touched, err := ep.g.Apply(d)
 	if err != nil {
 		return UpdateStats{}, err
 	}
 	st := UpdateStats{
 		Epoch:      ng.Version(),
+		LSN:        lsn,
 		NodesAdded: len(d.Nodes),
 		EdgesAdded: ng.NumEdges() - ep.g.NumEdges(),
 		Touched:    len(touched),
@@ -119,7 +151,7 @@ func (e *Engine) ApplyUpdate(d Delta) (UpdateStats, error) {
 		classes[name] = patchClass(cm, metaIx, patches)
 	}
 
-	nep := &epoch{g: ng, metaIx: metaIx, classes: classes, version: ng.Version()}
+	nep := &epoch{g: ng, metaIx: metaIx, classes: classes, version: ng.Version(), lsn: lsn}
 	e.publish(nep)
 	st.Pending = nep.pending
 	return st, nil
@@ -199,13 +231,16 @@ func (e *Engine) Compact() {
 	for name, cm := range ep.classes {
 		classes[name] = &classModel{kept: cm.kept, ix: cm.ix.Compact(), model: cm.model}
 	}
-	e.publish(&epoch{g: ep.g.Compact(), metaIx: metaIx, classes: classes, version: ep.version})
+	e.publish(&epoch{g: ep.g.Compact(), metaIx: metaIx, classes: classes, version: ep.version, lsn: ep.lsn})
 }
 
 // Stats is a consistent point-in-time snapshot of the serving state.
 type Stats struct {
 	// Epoch is the serving epoch counter (one per applied update).
 	Epoch uint64
+	// LSN is the durable log position of the serving epoch (see
+	// Engine.LSN).
+	LSN uint64
 	// Nodes, Edges and Types describe the serving graph.
 	Nodes, Edges, Types int
 	// Metagraphs is |M|; Matched counts the metagraphs matched so far.
@@ -234,6 +269,7 @@ func (e *Engine) Stats() Stats {
 	sort.Strings(classes)
 	return Stats{
 		Epoch:             ep.version,
+		LSN:               ep.lsn,
 		Nodes:             ep.g.NumNodes(),
 		Edges:             ep.g.NumEdges(),
 		Types:             ep.g.NumTypes(),
