@@ -36,7 +36,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -45,6 +44,7 @@ import (
 	"time"
 
 	semprox "repro"
+	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/graph"
@@ -322,19 +322,7 @@ func emit(path string, report any) error {
 		_, err := os.Stdout.Write(js)
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(js); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := atomicfile.Write(path, js); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

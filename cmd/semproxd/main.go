@@ -39,16 +39,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	semprox "repro"
+	"repro/internal/atomicfile"
 	"repro/internal/dataset"
 	"repro/internal/mining"
 	"repro/internal/replica"
@@ -156,14 +157,19 @@ func buildPrimary(snapshot, save, walDir, dsName string, users int,
 			return nil, nil, err
 		}
 		start := time.Now()
-		replayed, err := semprox.ReplayWAL(eng, w)
+		replayed, skipped, err := semprox.ReplayWAL(eng, w)
 		if err != nil {
 			return nil, nil, err
 		}
-		if replayed > 0 {
+		if replayed > 0 || skipped > 0 {
 			eng.Compact()
 			log.Printf("recovered %d logged updates in %.2fs (engine now at LSN %d, epoch %d)",
 				replayed, time.Since(start).Seconds(), eng.LSN(), eng.Epoch())
+		}
+		if skipped > 0 {
+			log.Printf("WARNING: replay reproduced %d recorded skip(s): record(s) this primary logged, "+
+				"then rejected and alarmed about before a crash (a rejection NOT recorded in the "+
+				"log's skip list would have failed this boot instead)", skipped)
 		}
 	}
 
@@ -262,35 +268,9 @@ func buildEngine(snapshot, dsName string, users int, classes string, candidates,
 	return eng, nil
 }
 
-// writeSnapshot saves the engine atomically and durably: the bytes are
-// staged to a temp file, fsynced, renamed over the target, and the
-// directory entry is fsynced too — a crash at any point leaves either the
-// old snapshot or the new one, never a truncated hybrid.
+// writeSnapshot saves the engine atomically and durably — a crash at any
+// point leaves either the old snapshot or the new one, never a truncated
+// hybrid.
 func writeSnapshot(path string, eng *semprox.Engine) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".semproxd-snap-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := eng.Save(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return atomicfile.WriteWith(path, func(w io.Writer) error { return eng.Save(w) })
 }

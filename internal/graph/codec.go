@@ -49,6 +49,25 @@ func AppendDelta(buf []byte, d Delta) []byte {
 // EncodeDelta returns the binary encoding of d.
 func EncodeDelta(d Delta) []byte { return AppendDelta(nil, d) }
 
+// ValidateDelta reports whether d would survive an encode/decode round
+// trip, without paying for one. The encoder accepts any Delta, but the
+// decoder enforces bounds on what it reads back; a durable consumer (the
+// WAL) must reject up front anything replay would refuse. Kept in sync
+// with the decoder: the per-string cap is its only constraint an honest
+// encoding can violate — counts are real slice lengths and node ids
+// round-trip through uint32 by construction.
+func ValidateDelta(d Delta) error {
+	for i, n := range d.Nodes {
+		if len(n.Type) > maxDeltaString {
+			return fmt.Errorf("graph: delta node %d: type of %d bytes exceeds limit %d", i, len(n.Type), maxDeltaString)
+		}
+		if len(n.Value) > maxDeltaString {
+			return fmt.Errorf("graph: delta node %d: value of %d bytes exceeds limit %d", i, len(n.Value), maxDeltaString)
+		}
+	}
+	return nil
+}
+
 // DecodeDelta parses an encoding produced by EncodeDelta/AppendDelta. The
 // whole input must be consumed — trailing bytes are an error, so a
 // length-prefixed container can detect corrupt framing.

@@ -44,6 +44,28 @@ func TestDeltaCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestValidateDeltaMatchesRoundTrip: ValidateDelta's verdict must agree
+// with an actual encode/decode round trip — it is the WAL's cheap stand-in
+// for one on the durable write path.
+func TestValidateDeltaMatchesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	check := func(d Delta) {
+		t.Helper()
+		_, derr := DecodeDelta(EncodeDelta(d))
+		verr := ValidateDelta(d)
+		if (derr == nil) != (verr == nil) {
+			t.Fatalf("ValidateDelta (%v) disagrees with round trip (%v) on %+v", verr, derr, d)
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		check(randomDelta(rng))
+	}
+	big := string(make([]byte, maxDeltaString+1))
+	check(Delta{Nodes: []DeltaNode{{Type: big, Value: "x"}}})
+	check(Delta{Nodes: []DeltaNode{{Type: "user", Value: big}}})
+	check(Delta{Nodes: []DeltaNode{{Type: "user", Value: string(make([]byte, maxDeltaString))}}})
+}
+
 func TestDeltaCodecEmpty(t *testing.T) {
 	b := EncodeDelta(Delta{})
 	if len(b) != 2 {

@@ -115,7 +115,11 @@ func (f *Follower) Run(ctx context.Context) error {
 			if errors.As(err, &app) {
 				// The local engine can never converge from here; only a
 				// fresh snapshot can. Stop reporting ready until a clean
-				// poll completes after re-bootstrap.
+				// poll completes after re-bootstrap. This cannot loop on
+				// one record: a record the primary itself rejected after
+				// logging is recorded as a skip there (Engine.AdvanceLSN),
+				// so the primary's snapshot LSN is already beyond it and
+				// the fresh bootstrap resumes past the record.
 				f.polled.Store(false)
 				select {
 				case <-ctx.Done():
@@ -200,25 +204,28 @@ func (f *Follower) pollOnce(ctx context.Context) (int, error) {
 	return applied, nil
 }
 
-// Status reports the follower's replication position: the LSN applied
-// locally, the primary's durable LSN as of the last successful poll, and
-// whether the follower is ready — bootstrapped, at least one poll
-// completed, and zero lag.
-func (f *Follower) Status() (applied, primaryLSN uint64, ready bool) {
+// Status reports the follower's replication position in one consistent
+// read: the LSN applied locally, the primary's durable LSN as of the
+// last successful poll, the lag between them (clamped at 0), and whether
+// the follower is ready — bootstrapped, at least one poll completed, and
+// zero lag. Callers needing several of these values must take them from
+// ONE Status call; separate calls read the atomics independently and can
+// disagree.
+func (f *Follower) Status() (applied, primaryLSN, lag uint64, ready bool) {
 	applied = f.applied.Load()
 	primaryLSN = f.target.Load()
-	ready = f.Engine() != nil && f.polled.Load() && applied >= primaryLSN
-	return applied, primaryLSN, ready
+	if primaryLSN > applied {
+		lag = primaryLSN - applied
+	}
+	ready = f.Engine() != nil && f.polled.Load() && lag == 0
+	return applied, primaryLSN, lag, ready
 }
 
 // Lag returns primaryLSN - appliedLSN as of the last poll (0 when caught
 // up or not yet polled).
 func (f *Follower) Lag() uint64 {
-	applied, primaryLSN, _ := f.Status()
-	if primaryLSN <= applied {
-		return 0
-	}
-	return primaryLSN - applied
+	_, _, lag, _ := f.Status()
+	return lag
 }
 
 // PrimaryURL returns the primary base URL the follower replicates from.

@@ -35,13 +35,23 @@ const DefaultMaxBatch = 1024
 // DefaultMaxWait caps a long poll; clients re-poll after a drained wait.
 const DefaultMaxWait = 25 * time.Second
 
+// DefaultMaxBytes bounds the cumulative delta payload of one since
+// response. The follower hard-caps its JSON decode at 256MB and treats a
+// truncated body as a transient error, so an over-large response would
+// wedge it in a retry loop on the very same request; batches that stop
+// well under the cap (even after base64 and JSON overhead) keep every
+// response consumable. A single record larger than the bound is still
+// sent alone — progress beats the bound.
+const DefaultMaxBytes = 32 << 20
+
 // Primary serves one engine's WAL to followers.
 type Primary struct {
 	eng *semprox.Engine
 	log *wal.WAL
-	// MaxBatch and MaxWait override the defaults when > 0; mostly for
-	// tests.
+	// MaxBatch, MaxBytes and MaxWait override the defaults when > 0;
+	// mostly for tests.
 	MaxBatch int
+	MaxBytes int
 	MaxWait  time.Duration
 }
 
@@ -110,8 +120,17 @@ func (p *Primary) ServeSince(r *http.Request) (int, any, error) {
 	}
 	// SinceRaw ships the stored payload bytes verbatim — the hot case
 	// (an almost-caught-up follower) is served from the log's in-memory
-	// tail with no disk read and no decode/re-encode round trip.
-	recs, durable, err := p.log.SinceRaw(after, max)
+	// tail with no disk read and no decode/re-encode round trip. The byte
+	// budget (see DefaultMaxBytes) rides on the record-count cap and is
+	// enforced inside the log read, so a lagging follower's poll stops
+	// scanning at the budget instead of materializing max records and
+	// throwing the overflow away; the kept prefix stays contiguous, so the
+	// follower just polls again for the rest.
+	maxBytes := p.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	recs, durable, err := p.log.SinceRaw(after, max, maxBytes)
 	if err != nil {
 		return http.StatusInternalServerError, nil, fmt.Errorf("read log: %w", err)
 	}

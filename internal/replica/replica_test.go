@@ -3,6 +3,7 @@ package replica_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -89,15 +90,15 @@ func waitCaughtUp(t *testing.T, f *replica.Follower, target uint64) {
 	t.Helper()
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		applied, _, ready := f.Status()
+		applied, _, _, ready := f.Status()
 		if ready && applied >= target {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	applied, primaryLSN, ready := f.Status()
-	t.Fatalf("follower never caught up: applied %d, primary %d, ready %v (target %d)",
-		applied, primaryLSN, ready, target)
+	applied, primaryLSN, lag, ready := f.Status()
+	t.Fatalf("follower never caught up: applied %d, primary %d, lag %d, ready %v (target %d)",
+		applied, primaryLSN, lag, ready, target)
 }
 
 // TestFollowerConvergesByteIdentical is the acceptance property of the
@@ -232,5 +233,53 @@ func TestValidPrimaryURL(t *testing.T) {
 		if err := replica.ValidPrimaryURL(bad); err == nil {
 			t.Fatalf("%q accepted", bad)
 		}
+	}
+}
+
+// TestServeSinceByteBound: the primary bounds a since batch by bytes as
+// well as record count, so a follower that fell far behind a stream of
+// large deltas never receives a response bigger than it will decode —
+// the kept prefix stays contiguous and the follower simply re-polls.
+func TestServeSinceByteBound(t *testing.T) {
+	h := newPrimaryHarness(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3; i++ {
+		h.applyRandom(t, rng, fmt.Sprintf("bb%d", i))
+	}
+	p := replica.NewPrimary(h.eng, h.log)
+	p.MaxBytes = 1 // every record exceeds the budget: one per response
+
+	got := 0
+	after := uint64(0)
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/replicate/since?lsn=%d&max=100", after), nil)
+		status, body, err := p.ServeSince(req)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("ServeSince = %d, %v", status, err)
+		}
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr struct {
+			LastLSN uint64 `json:"last_lsn"`
+			Records []struct {
+				LSN uint64 `json:"lsn"`
+			} `json:"records"`
+		}
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Records) != 1 {
+			t.Fatalf("poll %d returned %d records, want 1 (byte bound)", i, len(sr.Records))
+		}
+		if sr.Records[0].LSN != after+1 {
+			t.Fatalf("poll %d: LSN %d, want %d (non-contiguous prefix)", i, sr.Records[0].LSN, after+1)
+		}
+		after = sr.Records[0].LSN
+		got++
+	}
+	if got != 3 || after != h.log.DurableLSN() {
+		t.Fatalf("drained %d records to LSN %d, want 3 to %d", got, after, h.log.DurableLSN())
 	}
 }

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	semprox "repro"
@@ -159,6 +161,82 @@ func TestReplicateSinceBadParams(t *testing.T) {
 	wantErr(t, do(t, s, http.MethodGet, "/replicate/since?lsn=0&max=0", ""), http.StatusBadRequest, "bad_request")
 	wantErr(t, do(t, s, http.MethodGet, "/replicate/since?lsn=0&wait_ms=-1", ""), http.StatusBadRequest, "bad_request")
 	wantErr(t, do(t, s, http.MethodPost, "/replicate/since?lsn=0", "{}"), http.StatusMethodNotAllowed, "method_not_allowed")
+}
+
+// TestReadyzWALFailed: a primary whose log can no longer accept appends
+// (sticky I/O failure, or closed) keeps serving reads but must drop
+// readiness, so load balancers stop routing writes to it.
+func TestReadyzWALFailed(t *testing.T) {
+	s, w, _, _ := walServer(t)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, http.MethodGet, "/readyz", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz on a write-dead primary = %d, want 503", rec.Code)
+	}
+	var rr readyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != "wal_failed" || rr.Role != "primary" {
+		t.Fatalf("readyz = %+v", rr)
+	}
+}
+
+// TestFollowerRebootstrapSwapsServedEngine: Follower.Run re-bootstraps on
+// divergence, swapping in a brand-new engine; the server must serve the
+// follower's CURRENT engine, not the one captured at New — otherwise
+// /query, /stats and /healthz would freeze at the pre-bootstrap state
+// while /readyz (computed from the live follower) reports ready.
+func TestFollowerRebootstrapSwapsServedEngine(t *testing.T) {
+	ps, _, peng, _ := walServer(t)
+	pts := httptest.NewServer(ps)
+	defer pts.Close()
+
+	f := replica.NewFollower(pts.URL, pts.Client())
+	ctx := context.Background()
+	if err := f.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fsrv := New(f.Engine())
+	fsrv.SetFollower(f)
+	oldNodes := f.Engine().Graph().NumNodes()
+
+	// The primary moves on (LSN 1) while the follower is detached; a
+	// second Bootstrap — what Run does after a stream gap — installs a
+	// fresh engine at the primary's new state.
+	rec := do(t, ps, http.MethodPost, "/update",
+		`{"nodes":[{"type":"user","name":"zoe"}],"edges":[{"u":"zoe","v":"Kate"}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("primary update = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if err := f.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if f.Engine().LSN() != peng.LSN() {
+		t.Fatalf("re-bootstrap at LSN %d, primary at %d", f.Engine().LSN(), peng.LSN())
+	}
+
+	// Every read surface serves the re-bootstrapped engine.
+	var st statsResponse
+	if err := json.Unmarshal(do(t, fsrv, http.MethodGet, "/stats", "").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LSN != peng.LSN() || st.Nodes != oldNodes+1 {
+		t.Fatalf("follower /stats = LSN %d nodes %d, want LSN %d nodes %d (stale engine served?)",
+			st.LSN, st.Nodes, peng.LSN(), oldNodes+1)
+	}
+	var hr healthResponse
+	if err := json.Unmarshal(do(t, fsrv, http.MethodGet, "/healthz", "").Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Nodes != oldNodes+1 {
+		t.Fatalf("follower /healthz nodes = %d, want %d", hr.Nodes, oldNodes+1)
+	}
+	if rec := do(t, fsrv, http.MethodGet, "/query?class=classmate&query=zoe&k=3", ""); rec.Code != http.StatusOK {
+		t.Fatalf("follower /query for a post-bootstrap node = %d (%s)", rec.Code, rec.Body.String())
+	}
 }
 
 // TestFollowerServerIsReadOnly: a server flagged as follower refuses

@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -81,6 +82,13 @@ type Server struct {
 	// edges, so the whole read-resolve-apply sequence is one critical
 	// section — including the WAL append, which must reach the log in
 	// apply order. Queries never touch this lock.
+	//
+	// Known limitation: because the append happens under this lock, the
+	// WAL's group-commit batching never engages for HTTP updates — each
+	// /update pays a dedicated fsync, capping write throughput at roughly
+	// one update per fsync latency. Lifting the append out is unsafe as
+	// long as node-id prediction reads the pre-append graph; batching
+	// across requests would need the id resolution moved into the engine.
 	updateMu sync.Mutex
 	// log, when attached, makes every /update durable before it applies;
 	// primary then serves it to followers over /replicate.
@@ -120,6 +128,21 @@ func (s *Server) AttachWAL(w *wal.WAL) {
 // 503 (writes belong to the primary) and /readyz reports catch-up state.
 // Call before serving.
 func (s *Server) SetFollower(f *replica.Follower) { s.follower = f }
+
+// engine returns the engine requests should serve. A follower's engine
+// is read through the follower on every request: divergence makes
+// Follower.Run re-bootstrap, which swaps in a brand-new engine, and
+// handlers that held on to the old pointer would keep serving frozen
+// data forever. Each handler calls this once and uses the result
+// throughout, so a single request never mixes two engines.
+func (s *Server) engine() *semprox.Engine {
+	if s.follower != nil {
+		if eng := s.follower.Engine(); eng != nil {
+			return eng
+		}
+	}
+	return s.eng
+}
 
 // SetAutoCompact toggles background compaction after updates. Call before
 // serving; with it off, /stats keeps reporting the pending overlays until
@@ -216,24 +239,24 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any) *httpError {
 }
 
 // resolveClass 404s for classes the engine has not trained.
-func (s *Server) resolveClass(class string) *httpError {
+func resolveClass(eng *semprox.Engine, class string) *httpError {
 	if class == "" {
 		return errBadRequest("missing class")
 	}
-	for _, c := range s.eng.Classes() {
+	for _, c := range eng.Classes() {
 		if c == class {
 			return nil
 		}
 	}
-	return errNotFound("class_not_found", "class %q not trained (have %v)", class, s.eng.Classes())
+	return errNotFound("class_not_found", "class %q not trained (have %v)", class, eng.Classes())
 }
 
 // resolveNode maps a node name to its id, 404ing unknown names.
-func (s *Server) resolveNode(field, name string) (semprox.NodeID, *httpError) {
+func resolveNode(eng *semprox.Engine, field, name string) (semprox.NodeID, *httpError) {
 	if name == "" {
 		return semprox.InvalidNode, errBadRequest("missing %s", field)
 	}
-	id := s.eng.Graph().NodeByName(name)
+	id := eng.Graph().NodeByName(name)
 	if id == semprox.InvalidNode {
 		return semprox.InvalidNode, errNotFound("node_not_found", "node %q not in graph", name)
 	}
@@ -254,14 +277,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodGet) {
 		return
 	}
-	g := s.eng.Graph()
+	eng := s.engine()
+	g := eng.Graph()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:     "ok",
 		Nodes:      g.NumNodes(),
 		Edges:      g.NumEdges(),
 		Types:      g.NumTypes(),
-		Metagraphs: s.eng.NumMetagraphs(),
-		Classes:    s.eng.Classes(),
+		Metagraphs: eng.NumMetagraphs(),
+		Classes:    eng.Classes(),
 	})
 }
 
@@ -271,7 +295,7 @@ func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Classes []string `json:"classes"`
-	}{s.eng.Classes()})
+	}{s.engine().Classes()})
 }
 
 // queryRequest is the /query body: exactly one of Query (single) or
@@ -334,7 +358,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.K == 0 {
 		req.K = defaultK
 	}
-	if herr := s.resolveClass(req.Class); herr != nil {
+	eng := s.engine()
+	if herr := resolveClass(eng, req.Class); herr != nil {
 		writeErr(w, herr)
 		return
 	}
@@ -342,22 +367,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case req.Query != "" && len(req.Queries) > 0:
 		writeErr(w, errBadRequest("set query or queries, not both"))
 	case req.Query != "":
-		s.querySingle(w, req)
+		querySingle(w, eng, req)
 	case len(req.Queries) > 0:
-		s.queryBatch(w, req)
+		queryBatch(w, eng, req)
 	default:
 		writeErr(w, errBadRequest("missing query"))
 	}
 }
 
 // querySingle answers one query through the sharded scan.
-func (s *Server) querySingle(w http.ResponseWriter, req queryRequest) {
-	q, herr := s.resolveNode("query", req.Query)
+func querySingle(w http.ResponseWriter, eng *semprox.Engine, req queryRequest) {
+	q, herr := resolveNode(eng, "query", req.Query)
 	if herr != nil {
 		writeErr(w, herr)
 		return
 	}
-	ranked, err := s.eng.Query(req.Class, q, req.K)
+	ranked, err := eng.Query(req.Class, q, req.K)
 	if err != nil {
 		writeErr(w, errNotFound("class_not_found", "%v", err))
 		return
@@ -365,41 +390,41 @@ func (s *Server) querySingle(w http.ResponseWriter, req queryRequest) {
 	writeJSON(w, http.StatusOK, batchResult{
 		Class:   req.Class,
 		K:       req.K,
-		Results: []queryResult{s.render(req.Query, ranked)},
+		Results: []queryResult{render(eng, req.Query, ranked)},
 	})
 }
 
 // queryBatch resolves every query name, then answers them in one
 // QueryBatch call that fans out over the engine's workers.
-func (s *Server) queryBatch(w http.ResponseWriter, req queryRequest) {
+func queryBatch(w http.ResponseWriter, eng *semprox.Engine, req queryRequest) {
 	if len(req.Queries) > MaxBatch {
 		writeErr(w, errBadRequest("batch of %d queries exceeds limit %d", len(req.Queries), MaxBatch))
 		return
 	}
 	qs := make([]semprox.NodeID, len(req.Queries))
 	for i, name := range req.Queries {
-		q, herr := s.resolveNode(fmt.Sprintf("queries[%d]", i), name)
+		q, herr := resolveNode(eng, fmt.Sprintf("queries[%d]", i), name)
 		if herr != nil {
 			writeErr(w, herr)
 			return
 		}
 		qs[i] = q
 	}
-	rankings, err := s.eng.QueryBatch(req.Class, qs, req.K)
+	rankings, err := eng.QueryBatch(req.Class, qs, req.K)
 	if err != nil {
 		writeErr(w, errNotFound("class_not_found", "%v", err))
 		return
 	}
 	out := batchResult{Class: req.Class, K: req.K, Results: make([]queryResult, len(rankings))}
 	for i, ranked := range rankings {
-		out.Results[i] = s.render(req.Queries[i], ranked)
+		out.Results[i] = render(eng, req.Queries[i], ranked)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 // render converts one engine ranking to its JSON shape.
-func (s *Server) render(query string, ranked []semprox.Ranked) queryResult {
-	g := s.eng.Graph()
+func render(eng *semprox.Engine, query string, ranked []semprox.Ranked) queryResult {
+	g := eng.Graph()
 	out := queryResult{Query: query, Results: make([]rankedResult, len(ranked))}
 	for i, r := range ranked {
 		out.Results[i] = rankedResult{Node: int32(r.Node), Name: g.Name(r.Node), Score: r.Score}
@@ -461,7 +486,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
-	g := s.eng.Graph()
+	eng := s.eng // never a follower here: /update was refused above
+	g := eng.Graph()
 	d := semprox.Delta{Nodes: make([]semprox.DeltaNode, len(req.Nodes))}
 	fresh := make(map[string]semprox.NodeID, len(req.Nodes))
 	for i, n := range req.Nodes {
@@ -528,21 +554,42 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, errInternal("wal append: %v", aerr))
 			return
 		}
-		st, err = s.eng.ApplyUpdateAt(d, lsn)
+		st, err = eng.ApplyUpdateAt(d, lsn)
+		if err != nil {
+			// The record is durable but the engine rejected it — the
+			// validation above is meant to make this unreachable. Leaving
+			// the log and engine disagreeing would brick the next boot
+			// (replay hits the same record) and wedge followers, so record
+			// the skip durably in the log's skip list, then advance the
+			// LSN past the dead record: ApplyUpdateAt is deterministic, so
+			// replay reproduces the recorded skip and re-bootstrapping
+			// replicas land beyond it — every copy stays aligned.
+			log.Printf("server: /update logged at LSN %d but rejected by the engine (recording the skip): %v", lsn, err)
+			if serr := s.log.RecordSkip(lsn); serr != nil {
+				// RecordSkip poisons the log on failure: Append now refuses
+				// and /readyz reports wal_failed, so the operator learns
+				// immediately that the next boot would refuse to replay past
+				// this record, instead of at that boot.
+				log.Printf("server: recording skip of LSN %d failed, WAL poisoned (readyz now wal_failed): %v", lsn, serr)
+			}
+			eng.AdvanceLSN(lsn)
+			writeErr(w, errInternal("update logged at LSN %d but rejected by the engine: %v", lsn, err))
+			return
+		}
 	} else {
-		st, err = s.eng.ApplyUpdate(d)
-	}
-	if err != nil {
-		// Everything client-controlled was validated above; a residual
-		// failure still maps to a 400 with the engine's reason.
-		writeErr(w, errBadRequest("%v", err))
-		return
+		st, err = eng.ApplyUpdate(d)
+		if err != nil {
+			// Everything client-controlled was validated above; a residual
+			// failure still maps to a 400 with the engine's reason.
+			writeErr(w, errBadRequest("%v", err))
+			return
+		}
 	}
 	if s.autoCompact && st.Pending > 0 {
 		s.compacting.Add(1)
 		go func() {
 			defer s.compacting.Done()
-			s.eng.Compact()
+			eng.Compact()
 		}()
 	}
 	writeJSON(w, http.StatusOK, updateResponse{
@@ -572,7 +619,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodGet) {
 		return
 	}
-	st := s.eng.Stats()
+	st := s.engine().Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Epoch:             st.Epoch,
 		LSN:               st.LSN,
@@ -592,7 +639,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // least once, and applied everything the primary had; until then /readyz
 // is 503 so load balancers keep traffic on caught-up replicas.
 type readyResponse struct {
-	Status     string `json:"status"` // "ready" or "catching_up"
+	Status     string `json:"status"` // "ready", "catching_up", or "wal_failed"
 	Role       string `json:"role"`
 	LSN        uint64 `json:"lsn"`
 	PrimaryLSN uint64 `json:"primary_lsn,omitempty"`
@@ -604,8 +651,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.follower != nil {
-		applied, primaryLSN, ready := s.follower.Status()
-		resp := readyResponse{Status: "ready", Role: "follower", LSN: applied, PrimaryLSN: primaryLSN, Lag: s.follower.Lag()}
+		// One Status() read feeds the whole response: a separate Lag()
+		// call would re-read the atomics and could disagree with the
+		// ready/LSN values reported here.
+		applied, primaryLSN, lag, ready := s.follower.Status()
+		resp := readyResponse{Status: "ready", Role: "follower", LSN: applied, PrimaryLSN: primaryLSN, Lag: lag}
 		status := http.StatusOK
 		if !ready {
 			resp.Status = "catching_up"
@@ -617,6 +667,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	role := "standalone"
 	if s.log != nil {
 		role = "primary"
+		// A primary whose log has sticky-failed (disk full, I/O error) can
+		// accept no more writes until restart; readiness is how load
+		// balancers find that out.
+		if err := s.log.Err(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				readyResponse{Status: "wal_failed", Role: role, LSN: s.eng.LSN()})
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, readyResponse{Status: "ready", Role: role, LSN: s.eng.LSN()})
 }
@@ -678,21 +736,22 @@ func (s *Server) handleProximity(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, herr)
 		return
 	}
-	if herr := s.resolveClass(req.Class); herr != nil {
+	eng := s.engine()
+	if herr := resolveClass(eng, req.Class); herr != nil {
 		writeErr(w, herr)
 		return
 	}
-	x, herr := s.resolveNode("x", req.X)
+	x, herr := resolveNode(eng, "x", req.X)
 	if herr != nil {
 		writeErr(w, herr)
 		return
 	}
-	y, herr := s.resolveNode("y", req.Y)
+	y, herr := resolveNode(eng, "y", req.Y)
 	if herr != nil {
 		writeErr(w, herr)
 		return
 	}
-	p, err := s.eng.Proximity(req.Class, x, y)
+	p, err := eng.Proximity(req.Class, x, y)
 	if err != nil {
 		writeErr(w, errNotFound("class_not_found", "%v", err))
 		return

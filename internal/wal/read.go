@@ -137,11 +137,19 @@ func (w *WAL) replayRaw(afterLSN, durable uint64, fn func(lsn uint64, body []byt
 	w.mu.Unlock()
 
 	var ferr error
-	for _, s := range segs {
+	for i, s := range segs {
 		if s.last == 0 || s.last <= afterLSN {
 			continue
 		}
-		_, _, err := scanSegment(s.path, s.first, false, func(lsn uint64, body []byte) bool {
+		// Sealed segments are immutable and were validated at Open, so any
+		// invalid byte found now is on-disk corruption that must surface
+		// as an error — tolerant mode would silently truncate the read
+		// mid-segment. Only the active (final) segment scans tolerantly: a
+		// concurrent group commit may have written a partial record past
+		// the durable bound, which the lsn > durable check below stops at
+		// anyway.
+		strict := i < len(segs)-1
+		_, last, err := scanSegment(s.path, s.first, strict, func(lsn uint64, body []byte) bool {
 			if lsn <= afterLSN {
 				return true
 			}
@@ -160,6 +168,25 @@ func (w *WAL) replayRaw(afterLSN, durable uint64, fn func(lsn uint64, body []byt
 		if err != nil {
 			return err
 		}
+		// Tolerance on the active segment exists for the torn bytes a
+		// crash or in-flight group commit leaves past the durable bound —
+		// never for corruption below it. A tolerant scan that stopped
+		// before the durable high-watermark silently read a short prefix:
+		// surfacing no error here would hand callers (replay, the
+		// replication feed) a truncated view they would trust — a follower
+		// would wedge below the corrupt record with lag > 0 and no alarm
+		// anywhere. The bound is the min of the segment's recorded last
+		// and the caller's durable LSN: s.last alone can run ahead of the
+		// durable value the caller captured (appends commit between the
+		// two lock acquisitions), and the scan legitimately stops at the
+		// caller's bound.
+		bound := s.last
+		if durable < bound {
+			bound = durable
+		}
+		if !strict && last < bound {
+			return fmt.Errorf("wal: segment %s: valid records end at LSN %d but LSN %d is durable — corruption below the durable bound", s.path, last, bound)
+		}
 	}
 	return nil
 }
@@ -176,15 +203,23 @@ type RawRecord struct {
 
 // SinceRaw returns up to max raw records with LSN > afterLSN (all of
 // them when max <= 0), plus the durable LSN at read time so a caller can
-// tell "no records" apart from "caught up". The hot case — a follower
-// within tailMaxRecords of the head — is served from the in-memory tail
-// without touching disk; older positions fall back to scanning the
-// segment files.
-func (w *WAL) SinceRaw(afterLSN uint64, max int) ([]RawRecord, uint64, error) {
+// tell "no records" apart from "caught up". maxBytes (<= 0 = unbounded)
+// additionally stops the batch before the cumulative delta payload
+// exceeds it — the first record is always returned whatever its size, so
+// a bounded reader still makes progress. Enforcing the bound here, not
+// in the caller, matters for the disk path: a lagging reader would
+// otherwise pay the scan and copy of up to max full records per poll
+// only to have the caller discard everything past the budget, re-reading
+// the same suffix on every re-poll. The hot case — a follower within
+// tailMaxRecords of the head — is served from the in-memory tail without
+// touching disk; older positions fall back to scanning the segment
+// files.
+func (w *WAL) SinceRaw(afterLSN uint64, max, maxBytes int) ([]RawRecord, uint64, error) {
 	w.mu.Lock()
 	durable := w.durable
 	if len(w.tail) > 0 && w.tail[0].lsn <= afterLSN+1 {
 		var out []RawRecord
+		total := 0
 		for _, tr := range w.tail {
 			if tr.lsn <= afterLSN {
 				continue
@@ -192,6 +227,10 @@ func (w *WAL) SinceRaw(afterLSN uint64, max int) ([]RawRecord, uint64, error) {
 			if tr.lsn > durable {
 				break
 			}
+			if maxBytes > 0 && len(out) > 0 && total+len(tr.delta) > maxBytes {
+				break
+			}
+			total += len(tr.delta)
 			out = append(out, RawRecord{LSN: tr.lsn, Delta: tr.delta})
 			if max > 0 && len(out) >= max {
 				break
@@ -203,7 +242,12 @@ func (w *WAL) SinceRaw(afterLSN uint64, max int) ([]RawRecord, uint64, error) {
 	w.mu.Unlock()
 
 	var out []RawRecord
+	total := 0
 	err := w.replayRaw(afterLSN, durable, func(lsn uint64, body []byte) error {
+		if maxBytes > 0 && len(out) > 0 && total+len(body) > maxBytes {
+			return errStopReplay
+		}
+		total += len(body)
 		out = append(out, RawRecord{LSN: lsn, Delta: append([]byte(nil), body...)})
 		if max > 0 && len(out) >= max {
 			return errStopReplay
@@ -216,9 +260,9 @@ func (w *WAL) SinceRaw(afterLSN uint64, max int) ([]RawRecord, uint64, error) {
 	return out, durable, nil
 }
 
-// Since is SinceRaw with the deltas decoded.
+// Since is SinceRaw with the deltas decoded and no byte bound.
 func (w *WAL) Since(afterLSN uint64, max int) ([]Record, uint64, error) {
-	raw, durable, err := w.SinceRaw(afterLSN, max)
+	raw, durable, err := w.SinceRaw(afterLSN, max, 0)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -16,7 +16,9 @@
 // LSNs (log sequence numbers) are assigned contiguously from 1 (or
 // Options.BaseLSN+1), one per appended delta, and match the engine's LSN
 // counter: a snapshot taken at LSN L is superseded exactly by the records
-// with LSN > L.
+// with LSN > L. A sidecar file ("skipped", one decimal LSN per line)
+// durably records the rare record that was appended but then rejected by
+// the engine and intentionally skipped — see RecordSkip.
 //
 // Durability: Append batches fsyncs through a single group-commit
 // goroutine — concurrent appenders enqueue encoded records and block until
@@ -29,6 +31,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -38,6 +41,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/atomicfile"
 	"repro/internal/graph"
 )
 
@@ -121,8 +125,17 @@ type WAL struct {
 	tail      []tailRec
 	tailBytes int
 
+	// skips holds the LSNs of records that were appended but then
+	// rejected by the engine and intentionally skipped (RecordSkip) —
+	// loaded from the sidecar skip-list file at Open.
+	skips map[uint64]bool
+
 	syncerDone chan struct{}
 }
+
+// skipsFile names the sidecar in the log directory that durably records
+// skipped LSNs, one decimal number per line.
+const skipsFile = "skipped"
 
 // tailRec is one in-memory record: the LSN and the encoded delta.
 type tailRec struct {
@@ -151,8 +164,96 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if err := w.recover(); err != nil {
 		return nil, err
 	}
+	if err := w.loadSkips(); err != nil {
+		return nil, err
+	}
 	go w.syncLoop()
 	return w, nil
+}
+
+// loadSkips reads the sidecar skip list (missing file = no skips).
+func (w *WAL) loadSkips() error {
+	data, err := os.ReadFile(filepath.Join(w.dir, skipsFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.skips = make(map[uint64]bool)
+	for _, field := range strings.Fields(string(data)) {
+		n, err := strconv.ParseUint(field, 10, 64)
+		if err != nil {
+			return fmt.Errorf("wal: skip list: bad entry %q", field)
+		}
+		w.skips[n] = true
+	}
+	return nil
+}
+
+// RecordSkip durably notes that the record at lsn was appended but then
+// rejected by the engine and intentionally skipped — the "record the
+// gap" half of the skip protocol. Replay (semprox.ReplayWAL) reproduces
+// a rejection of a RECORDED LSN as the primary's own skip; a rejection
+// of an unrecorded LSN stays a hard error, the guard against replaying
+// a log directory that does not belong to the booted snapshot. The note
+// is fsynced before RecordSkip returns.
+//
+// The whole list is rewritten atomically (atomicfile: temp + fsync +
+// rename) rather than appended in place: a crash mid-append could leave
+// a torn entry with no delimiter, and the next append would concatenate
+// onto it ("1" + "20\n" parses as LSN 120) — a wrong LSN recorded as
+// skippable while the real one stays a boot-wedging hard error. Skips
+// are rare enough that rewriting the tiny file costs nothing.
+//
+// A RecordSkip failure poisons the log (Err turns non-nil, Append
+// refuses, a primary's /readyz flips to wal_failed): the log now holds a
+// durable record whose skip is NOT durably recorded, so continuing to
+// serve would re-arm the boot-wedging state the skip protocol exists to
+// remove — the operator must see it now, not at the next boot.
+func (w *WAL) RecordSkip(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.skips[lsn] {
+		return nil
+	}
+	if w.err != nil {
+		// Never rewrite the sidecar from a map that may be behind the disk
+		// state a partially-failed rewrite left (rename committed, dir
+		// sync failed): that could erase a durably recorded skip.
+		return w.err
+	}
+	lsns := make([]uint64, 0, len(w.skips)+1)
+	for s := range w.skips {
+		lsns = append(lsns, s)
+	}
+	lsns = append(lsns, lsn)
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	var sb strings.Builder
+	for _, s := range lsns {
+		fmt.Fprintf(&sb, "%d\n", s)
+	}
+	if err := atomicfile.Write(filepath.Join(w.dir, skipsFile), []byte(sb.String())); err != nil {
+		w.err = fmt.Errorf("wal: skip list write failed, log poisoned (a durable record's skip is not durably recorded): %w", err)
+		// Blocked appenders and WaitSince pollers must observe the sticky
+		// error now: an appender whose batch syncLoop has not yet picked
+		// up would otherwise wait forever, because syncLoop's error-exit
+		// path returns without another broadcast.
+		w.wakeAll()
+		return w.err
+	}
+	if w.skips == nil {
+		w.skips = make(map[uint64]bool)
+	}
+	w.skips[lsn] = true
+	return nil
+}
+
+// Skipped reports whether lsn is in the durable skip list.
+func (w *WAL) Skipped(lsn uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.skips[lsn]
 }
 
 // segmentPath names the segment whose first record is lsn.
@@ -331,6 +432,14 @@ func syncDir(dir string) error {
 // records that accumulate while one sync is in flight commit with the
 // next single sync.
 func (w *WAL) Append(d graph.Delta) (uint64, error) {
+	// A record is only durable if it is also replayable: the decoder
+	// enforces bounds the encoder does not (per-string size caps), and an
+	// acknowledged record replay later rejects would make the log
+	// permanently unreplayable. ValidateDelta checks those bounds before
+	// the encode pays for an allocation the rejection would waste.
+	if err := graph.ValidateDelta(d); err != nil {
+		return 0, fmt.Errorf("wal: delta would not survive replay: %w", err)
+	}
 	body := graph.EncodeDelta(d)
 	if len(body)+binary.MaxVarintLen64 > MaxRecordBytes {
 		return 0, fmt.Errorf("wal: delta encodes to %d bytes, limit %d", len(body), MaxRecordBytes)
@@ -410,20 +519,28 @@ func (w *WAL) syncLoop() {
 		w.mu.Lock()
 		if failure != nil {
 			w.err = failure
-			close(w.watch) // wake WaitSince pollers; they observe err
-			w.watch = make(chan struct{})
-			w.cond.Broadcast()
+			w.wakeAll()
 			w.mu.Unlock()
 			return
 		}
 		w.activeSize += int64(len(batch))
 		w.segments[len(w.segments)-1].last = last
 		w.durable = last
-		close(w.watch)
-		w.watch = make(chan struct{})
-		w.cond.Broadcast()
+		w.wakeAll()
 		w.mu.Unlock()
 	}
+}
+
+// wakeAll wakes everything blocked on the log — appenders in cond.Wait
+// and WaitSince pollers parked on the watch channel — so they re-examine
+// durable/err/closed state. Every state change those waiters observe
+// (durability advancing, a sticky failure, close) must go through here:
+// a path that mutates state without waking can strand a waiter forever.
+// Callers hold w.mu.
+func (w *WAL) wakeAll() {
+	w.cond.Broadcast()
+	close(w.watch)
+	w.watch = make(chan struct{})
 }
 
 // rotate seals the active segment and opens a fresh one whose first
@@ -448,6 +565,22 @@ func (w *WAL) rotate(firstLSN uint64) error {
 	w.activeSize = size
 	w.segments = append(w.segments, segment{path: f.Name(), first: firstLSN})
 	w.mu.Unlock()
+	return nil
+}
+
+// Err reports why the log can no longer accept appends: the sticky I/O
+// failure from a failed write/fsync (every Append fails until restart),
+// or a closed-log error after Close. Nil while the log is healthy.
+// Serving layers use it to drop readiness on a write-dead primary.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("wal: closed")
+	}
 	return nil
 }
 
@@ -536,8 +669,7 @@ func (w *WAL) Close() error {
 	<-w.syncerDone
 	w.mu.Lock()
 	err := w.err
-	close(w.watch) // wake WaitSince pollers; they observe closed
-	w.watch = make(chan struct{})
+	w.wakeAll() // WaitSince pollers observe closed
 	w.mu.Unlock()
 	if cerr := w.active.Close(); err == nil && cerr != nil {
 		err = cerr

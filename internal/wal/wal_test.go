@@ -461,6 +461,85 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	}
 }
 
+// TestRecordSkipAccumulatesAndIgnoresStaleTemp: the skip list is
+// rewritten atomically (temp + rename), so entries accumulate across
+// RecordSkip calls and process restarts, and a temp file left by a crash
+// mid-rewrite is ignored at Open — the sidecar is always either the old
+// complete list or the new one, never a torn hybrid.
+func TestRecordSkipAccumulatesAndIgnoresStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecordSkip(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecordSkip(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecordSkip(7); err != nil {
+		t.Fatal("re-recording a skip must be a no-op, got", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between writing the temp file and renaming it leaves an
+	// ".atomic-*" staging file behind (the name atomicfile.Write uses);
+	// it must not corrupt or replace the committed list, nor confuse
+	// segment discovery.
+	if err := os.WriteFile(filepath.Join(dir, ".atomic-stale"), []byte("99"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if !w.Skipped(3) || !w.Skipped(7) {
+		t.Fatalf("skips lost across reopen: skipped(3)=%v skipped(7)=%v", w.Skipped(3), w.Skipped(7))
+	}
+	if w.Skipped(99) {
+		t.Fatal("stale temp file leaked into the skip list")
+	}
+	if err := w.RecordSkip(11); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Skipped(3) || !w.Skipped(7) || !w.Skipped(11) {
+		t.Fatal("recording a new skip dropped earlier entries")
+	}
+}
+
+// TestRecordSkipFailurePoisonsLog: a skip that cannot be durably
+// recorded leaves the log holding a record replay will refuse — the log
+// must stop accepting writes and surface the state through Err (which a
+// primary's /readyz reports as wal_failed), not discover it at the next
+// boot.
+func TestRecordSkipFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Destroying the directory makes the sidecar rewrite fail.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecordSkip(1); err == nil {
+		t.Fatal("RecordSkip succeeded with the log directory gone")
+	}
+	if w.Err() == nil {
+		t.Fatal("failed RecordSkip did not poison the log")
+	}
+	if _, err := w.Append(delta(0)); err == nil {
+		t.Fatal("Append accepted a record on a poisoned log")
+	}
+	if err := w.RecordSkip(2); err == nil {
+		t.Fatal("RecordSkip accepted a new skip on a poisoned log")
+	}
+}
+
 // BenchmarkWALAppend measures the group-commit append path. The parallel
 // variant is where batching pays: many goroutines share each fsync.
 func BenchmarkWALAppend(b *testing.B) {
@@ -493,4 +572,159 @@ func BenchmarkWALAppend(b *testing.B) {
 			}
 		})
 	})
+}
+
+// TestAppendRejectsUndecodableDelta: a record is only durable if it is
+// also replayable — a delta the decoder's bounds would reject (here a
+// >1MB string) must be refused at Append, not acknowledged and then
+// discovered unreplayable after a crash.
+func TestAppendRejectsUndecodableDelta(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	huge := graph.Delta{Nodes: []graph.DeltaNode{{Type: "user", Value: string(make([]byte, 2<<20))}}}
+	if _, err := w.Append(huge); err == nil {
+		t.Fatal("Append acknowledged a delta DecodeDelta rejects")
+	}
+	// The log is still healthy and appendable afterwards.
+	if w.Err() != nil {
+		t.Fatalf("refused append poisoned the log: %v", w.Err())
+	}
+	if _, err := w.Append(delta(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayFailsOnSealedSegmentCorruption: corruption that lands in a
+// sealed segment AFTER Open's validation must surface as a replay error,
+// never as a silent mid-segment truncation of the read.
+func TestReplayFailsOnSealedSegmentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 1; i <= 8; i++ {
+		if _, err := w.Append(delta(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.SegmentCount() < 2 {
+		t.Fatalf("expected rotation, have %d segment(s)", w.SegmentCount())
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	// Flip one payload byte in the first (sealed) segment.
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+frameSize+2] ^= 0xff
+	if err := os.WriteFile(names[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Replay(0, func(Record) error { return nil }); err == nil {
+		t.Fatal("replay over a corrupt sealed segment reported success")
+	}
+}
+
+// TestSinceRawDiskPathByteBound drives the byte budget through the
+// segment-scan path — a reopened log has an empty in-memory tail, the
+// position every lagging follower reads from. The budget must stop the
+// scan early WITHOUT tripping the below-durable corruption check (the
+// early stop is a budget, not a torn record), keep the prefix
+// contiguous, and still hand over a first record regardless of size.
+func TestSinceRawDiskPathByteBound(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 6, 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	one := len(graph.EncodeDelta(delta(0))) // deltas 0..5 encode to equal sizes
+	recs, durable, err := w.SinceRaw(0, 0, 2*one)
+	if err != nil {
+		t.Fatalf("budget-limited disk scan errored: %v", err)
+	}
+	if durable != 6 {
+		t.Fatalf("durable = %d, want 6", durable)
+	}
+	if len(recs) != 2 || recs[0].LSN != 1 || recs[1].LSN != 2 {
+		t.Fatalf("budget of two records returned %+v", recs)
+	}
+	// A budget smaller than any record still returns the first one.
+	recs, _, err = w.SinceRaw(2, 0, 1)
+	if err != nil || len(recs) != 1 || recs[0].LSN != 3 {
+		t.Fatalf("minimal budget: recs %+v, err %v", recs, err)
+	}
+	// Re-polling past the budgeted prefix drains the rest.
+	recs, _, err = w.SinceRaw(3, 0, 0)
+	if err != nil || len(recs) != 3 || recs[0].LSN != 4 || recs[2].LSN != 6 {
+		t.Fatalf("drain: recs %+v, err %v", recs, err)
+	}
+}
+
+// TestReplayFailsOnActiveSegmentCorruptionBelowDurable: the active
+// segment is scanned tolerantly only for the torn bytes a crash leaves
+// past the durable bound — corruption BELOW the durable LSN must surface
+// as an error, or a disk-path reader (replay, the replication feed)
+// would silently receive a truncated prefix and a lagging follower would
+// wedge below the corrupt record with no alarm.
+func TestReplayFailsOnActiveSegmentCorruptionBelowDurable(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 5, 1)
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("want one segment, have %v (%v)", names, err)
+	}
+	// Flip one payload byte in the first durable record of the (still
+	// active) segment.
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+frameSize+2] ^= 0xff
+	if err := os.WriteFile(names[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Replay(0, func(Record) error { return nil }); err == nil {
+		t.Fatal("replay over a corrupt active segment reported a silently truncated view as success")
+	}
+}
+
+// TestErrReportsClosedAndHealthy pins the Err contract readiness relies
+// on: nil while healthy, non-nil once the log can no longer append.
+func TestErrReportsClosedAndHealthy(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() != nil {
+		t.Fatalf("healthy log reports %v", w.Err())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() == nil {
+		t.Fatal("closed log reports healthy")
+	}
 }

@@ -2,6 +2,7 @@ package semprox
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/wal"
 )
@@ -18,11 +19,22 @@ import (
 // misses.
 
 // ReplayWAL applies every logged record beyond the engine's current LSN,
-// in order, and returns how many it applied. Records at or below the
-// engine's LSN are already part of its state (the snapshot covered them)
-// and are skipped. An application error aborts the replay: a record the
-// engine rejects means the log and the snapshot disagree about the graph,
-// which is corruption, not something to paper over.
+// in order, and returns how many it applied and how many it skipped.
+// Records at or below the engine's LSN are already part of its state
+// (the snapshot covered them) and count toward neither.
+//
+// A record the engine rejects is handled by the log's durable skip
+// list (wal.RecordSkip): a primary that ever had an append rejected
+// post-durability recorded the LSN before advancing past it, so replay
+// distinguishes the two possible causes of a rejection. A rejected
+// record that IS in the skip list reproduces the primary's own skip —
+// ApplyUpdateAt is deterministic, so advancing past it
+// (Engine.AdvanceLSN) lands on exactly the state the primary served —
+// and counts toward skipped. A rejected record that is NOT in the skip
+// list means the log and the snapshot disagree about the graph (most
+// plausibly a -wal directory paired with the wrong snapshot, since
+// byte-level corruption is already caught by the WAL's CRC framing) and
+// aborts the replay: that is corruption, not something to paper over.
 //
 // ReplayWAL fails up front on either misalignment between log and
 // engine: a log missing records the engine needs (its first retained LSN
@@ -31,24 +43,26 @@ import (
 // paired with a newer snapshot) — serving in that state would assign
 // future appends LSNs the engine rejects, durably logging records that
 // never apply.
-func ReplayWAL(e *Engine, w *wal.WAL) (int, error) {
+func ReplayWAL(e *Engine, w *wal.WAL) (applied, skipped int, err error) {
 	at := e.LSN()
 	if first := w.FirstLSN(); first > at+1 {
-		return 0, fmt.Errorf("semprox: wal starts at LSN %d but engine is at %d: snapshot predates log truncation", first, at)
+		return 0, 0, fmt.Errorf("semprox: wal starts at LSN %d but engine is at %d: snapshot predates log truncation", first, at)
 	}
 	if next := w.NextLSN(); next <= at {
-		return 0, fmt.Errorf("semprox: wal ends at LSN %d but engine is at %d: stale log directory for this snapshot", next-1, at)
+		return 0, 0, fmt.Errorf("semprox: wal ends at LSN %d but engine is at %d: stale log directory for this snapshot", next-1, at)
 	}
-	applied := 0
-	err := w.Replay(at, func(r wal.Record) error {
-		if _, err := e.ApplyUpdateAt(r.Delta, r.LSN); err != nil {
-			return fmt.Errorf("semprox: replay LSN %d: %w", r.LSN, err)
+	err = w.Replay(at, func(r wal.Record) error {
+		if _, aerr := e.ApplyUpdateAt(r.Delta, r.LSN); aerr != nil {
+			if !w.Skipped(r.LSN) {
+				return fmt.Errorf("semprox: replay LSN %d: record rejected and not in the log's skip list — the log and the snapshot disagree about the graph (mispaired -wal directory?): %w", r.LSN, aerr)
+			}
+			log.Printf("semprox: replay LSN %d: reproducing the primary's recorded skip (record was rejected: %v)", r.LSN, aerr)
+			e.AdvanceLSN(r.LSN)
+			skipped++
+			return nil
 		}
 		applied++
 		return nil
 	})
-	if err != nil {
-		return applied, err
-	}
-	return applied, nil
+	return applied, skipped, err
 }

@@ -88,6 +88,26 @@ func (e *Engine) ApplyUpdateAt(d Delta, lsn uint64) (UpdateStats, error) {
 	return e.applyUpdate(d, lsn)
 }
 
+// AdvanceLSN records that the durable log positions through lsn are
+// accounted for without changing any serving state. It exists for one
+// case: a logged record the engine rejected AFTER it became durable
+// (wal.Append succeeded, ApplyUpdateAt failed). ApplyUpdateAt is
+// deterministic, so crash replay and followers reject that record
+// identically; advancing the LSN past it keeps the engine, its log, and
+// its replicas aligned on the same skipped position — the primary's
+// next snapshot covers the dead record, ReplayWAL does not wedge on it,
+// and a re-bootstrapping follower lands beyond it. No-op when lsn is at
+// or below the engine's current LSN. Safe for concurrent use.
+func (e *Engine) AdvanceLSN(lsn uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ep := e.cur.Load()
+	if lsn <= ep.lsn {
+		return
+	}
+	e.publish(&epoch{g: ep.g, metaIx: ep.metaIx, classes: ep.classes, version: ep.version, lsn: lsn})
+}
+
 // applyUpdate builds and publishes the next epoch; lsn == 0 means "no
 // WAL": advance the epoch's LSN by one so the counter still tracks update
 // count.
