@@ -1,17 +1,21 @@
 # Tier-1 verification plus the invariants this repo adds on top:
 #   make ci  — lint (gofmt + vet), build, race-enabled tests, the
-#              per-package coverage floor, a bench smoke run that
-#              cross-checks parallel vs serial results on the offline
-#              index build and the online sharded top-k scan, runs a
-#              live ApplyUpdate cycle cross-checked against a from-scratch
-#              rebuild plus a WAL append/replay cycle, and a two-process
-#              replication smoke (primary + follower on loopback).
+#              per-package coverage floor (now covering the public api +
+#              client packages too), a bench smoke run that cross-checks
+#              parallel vs serial results on the offline index build and
+#              the online sharded top-k scan, runs a live ApplyUpdate
+#              cycle cross-checked against a from-scratch rebuild, a WAL
+#              append/replay cycle, and an in-process routed-serving
+#              cycle (1 primary + 2 followers, routed == direct), a
+#              two-process replication smoke (primary + follower on
+#              loopback), and a routing smoke (routed client failover
+#              across a primary kill).
 GO ?= go
 COVER_FLOOR ?= 80
 
-.PHONY: ci lint vet build test cover bench-smoke bench replication-smoke
+.PHONY: ci lint vet build test cover bench-smoke bench replication-smoke routing-smoke
 
-ci: lint build test cover bench-smoke replication-smoke
+ci: lint build test cover bench-smoke replication-smoke routing-smoke
 
 # gofmt must be a no-op and vet must be clean; staticcheck runs too when
 # the host has it installed (the CI image and the dev container may not).
@@ -31,10 +35,11 @@ build:
 test:
 	$(GO) test -race ./...
 
-# Per-package statement-coverage floor on the learning core and the
-# serving layer. Fails when either package drops below $(COVER_FLOOR)%.
+# Per-package statement-coverage floor on the learning core, the serving
+# layer, and the public wire contract + typed client. Fails when any
+# package drops below $(COVER_FLOOR)%.
 cover:
-	@for pkg in internal/core internal/server; do \
+	@for pkg in internal/core internal/server api client; do \
 		out=$$(mktemp); \
 		$(GO) test -coverprofile=$$out ./$$pkg || exit 1; \
 		pct=$$($(GO) tool cover -func=$$out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
@@ -48,19 +53,29 @@ cover:
 # the offline build AND the online sharded scan, runs one live
 # ApplyUpdate cycle whose patched index must match a from-scratch rebuild
 # byte-for-byte, runs a WAL append/replay/reopen cycle that must lose no
-# record, and prints timings without touching the committed BENCH_*.json
+# record, and stands up the routed-serving stack (primary + 2 followers
+# in-process) whose routed answers must be element-identical to direct
+# primary answers — all without touching the committed BENCH_*.json
 # files. Exits non-zero on any drift.
 bench-smoke:
-	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out - -online-out - -update-out - -wal-out -
+	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out - -online-out - -update-out - -wal-out - -routing-out -
 
 # Two-process replication smoke: durable primary + follower on loopback,
-# live updates pushed over HTTP, follower must reach lag 0 and serve
-# byte-identical /query output (see scripts/replication_smoke.sh).
+# live updates pushed through the typed client (semproxctl), follower
+# must reach lag 0 and serve byte-identical query output, legacy aliases
+# must match /v1 (see scripts/replication_smoke.sh).
 replication-smoke:
 	bash scripts/replication_smoke.sh
 
+# Routed-serving smoke: primary + follower + the replica-aware routed
+# client on loopback; routed reads must stay byte-identical across
+# replicas and keep serving with zero failures after the primary is
+# killed (see scripts/routing_smoke.sh).
+routing-smoke:
+	bash scripts/routing_smoke.sh
+
 # Full benchmark; rewrites BENCH_offline.json, BENCH_online.json,
-# BENCH_update.json and BENCH_wal.json (commit them to extend the perf
-# trajectory).
+# BENCH_update.json, BENCH_wal.json and BENCH_routing.json (commit them
+# to extend the perf trajectory).
 bench:
 	$(GO) run ./cmd/bench

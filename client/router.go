@@ -1,0 +1,275 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+)
+
+// DefaultProbeInterval is how often Run re-probes every replica's
+// readiness.
+const DefaultProbeInterval = 500 * time.Millisecond
+
+// Router is the replica-aware serving strategy over one primary and N
+// follower base URLs. It polls /v1/readyz to maintain the live set of
+// caught-up followers, spreads reads (Query, QueryBatch, Proximity)
+// round-robin across that set with failover — a follower that errors is
+// ejected from rotation on the spot and the request moves to the next
+// live follower, then to the primary — and pins writes (Update) plus
+// authoritative reads (Stats) to the primary. An ejected or lagging
+// follower re-enters rotation at the next successful readiness probe.
+//
+// With zero followers (or none caught up) every request goes to the
+// primary, so a Router over a single server degrades to a plain Client.
+//
+// Safe for concurrent use. Start Run in a goroutine for continuous
+// probing, or call Probe directly for deterministic control (tests,
+// benchmarks, one-shot tools).
+type Router struct {
+	primary   *Client
+	followers []*Client
+
+	// ProbeInterval is the pause between Run's readiness sweeps.
+	ProbeInterval time.Duration
+
+	mu   sync.RWMutex
+	live []bool   // live[i]: followers[i] is caught up and in rotation
+	gen  []uint64 // gen[i]: bumped by each eject of followers[i]; lets a
+	// probe detect an ejection that happened after its readiness sample
+	// was taken, so a stale "ready" never resurrects a just-dead replica
+
+	rr     atomic.Uint64   // round-robin cursor over the live set
+	served []atomic.Uint64 // reads served per backend; [0]=primary, [1+i]=followers[i]
+}
+
+// NewRouter builds a router over the primary at primaryURL and the given
+// follower base URLs. A nil hc gets one shared http.Client with
+// DefaultTimeout. Followers start OUT of rotation (nothing is known
+// about their lag yet): call Probe once — or start Run — before
+// expecting reads to spread.
+func NewRouter(primaryURL string, followerURLs []string, hc *http.Client) *Router {
+	if hc == nil {
+		hc = &http.Client{Timeout: DefaultTimeout}
+	}
+	r := &Router{
+		primary:       New(primaryURL, hc),
+		ProbeInterval: DefaultProbeInterval,
+		live:          make([]bool, len(followerURLs)),
+		gen:           make([]uint64, len(followerURLs)),
+		served:        make([]atomic.Uint64, 1+len(followerURLs)),
+	}
+	// Per-backend retries are disabled: the router IS the retry policy.
+	// A failed read fails over to the next replica immediately instead of
+	// hammering the same dead one through the backoff loop.
+	r.primary.Retries = 0
+	for _, u := range followerURLs {
+		c := New(u, hc)
+		c.Retries = 0
+		r.followers = append(r.followers, c)
+	}
+	return r
+}
+
+// Primary returns the primary's client (writes, authoritative reads).
+func (r *Router) Primary() *Client { return r.primary }
+
+// Followers returns the follower clients in rotation order.
+func (r *Router) Followers() []*Client { return r.followers }
+
+// Run probes every follower's readiness each ProbeInterval until ctx
+// ends, keeping the live set fresh: lagging or dead followers leave
+// rotation, caught-up ones (re-)enter. Returns ctx.Err().
+func (r *Router) Run(ctx context.Context) error {
+	for {
+		r.Probe(ctx)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(r.ProbeInterval):
+		}
+	}
+}
+
+// Probe polls /v1/readyz on every follower concurrently and installs the
+// resulting live set, returning how many followers are in rotation. A
+// follower is live when the probe succeeds and reports StatusReady
+// (bootstrapped, polled, zero lag) — unless a read ejected it while this
+// probe's sample was in flight: that ejection is newer information than
+// the sample, so the follower stays out until the NEXT sweep re-observes
+// it (a stale "ready" must not resurrect a replica that just died).
+func (r *Router) Probe(ctx context.Context) int {
+	if len(r.followers) == 0 {
+		return 0
+	}
+	r.mu.RLock()
+	before := append([]uint64(nil), r.gen...)
+	r.mu.RUnlock()
+	fresh := make([]bool, len(r.followers))
+	var wg sync.WaitGroup
+	for i, f := range r.followers {
+		wg.Add(1)
+		go func(i int, f *Client) {
+			defer wg.Done()
+			ready, err := f.Ready(ctx)
+			fresh[i] = err == nil && ready.Ready()
+		}(i, f)
+	}
+	wg.Wait()
+	n := 0
+	r.mu.Lock()
+	for i, ok := range fresh {
+		if r.gen[i] != before[i] {
+			ok = false // ejected mid-sweep; this sample predates the death
+		}
+		r.live[i] = ok
+		if ok {
+			n++
+		}
+	}
+	r.mu.Unlock()
+	return n
+}
+
+// Live returns the indices of the followers currently in rotation.
+func (r *Router) Live() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var idx []int
+	for i, ok := range r.live {
+		if ok {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// eject drops follower i from rotation until a probe whose readiness
+// sample postdates this call re-admits it.
+func (r *Router) eject(i int) {
+	r.mu.Lock()
+	r.live[i] = false
+	r.gen[i]++
+	r.mu.Unlock()
+}
+
+// Counts reports how many reads each backend has served, keyed by base
+// URL — the primary included. Useful for verifying spread in tests,
+// benchmarks and smoke scripts.
+func (r *Router) Counts() map[string]uint64 {
+	out := make(map[string]uint64, 1+len(r.followers))
+	out[r.primary.BaseURL()] = r.served[0].Load()
+	for i, f := range r.followers {
+		out[f.BaseURL()] += r.served[1+i].Load()
+	}
+	return out
+}
+
+// Query answers one ranked query through the read rotation.
+func (r *Router) Query(ctx context.Context, class, query string, k int) (api.QueryResponse, error) {
+	var out api.QueryResponse
+	err := r.read(ctx, func(c *Client) error {
+		var err error
+		out, err = c.Query(ctx, class, query, k)
+		return err
+	})
+	return out, err
+}
+
+// QueryBatch answers a batch of queries through the read rotation.
+func (r *Router) QueryBatch(ctx context.Context, class string, queries []string, k int) (api.QueryResponse, error) {
+	var out api.QueryResponse
+	// The caller's mistakes are rejected before the rotation is touched:
+	// Client.QueryBatch fails these locally with a plain error, which the
+	// failover path would misread as a per-replica transport failure and
+	// eject every live follower over one malformed call.
+	if len(queries) == 0 {
+		return out, fmt.Errorf("client: empty query batch")
+	}
+	if len(queries) > api.MaxBatch {
+		return out, fmt.Errorf("client: batch of %d queries exceeds limit %d", len(queries), api.MaxBatch)
+	}
+	err := r.read(ctx, func(c *Client) error {
+		var err error
+		out, err = c.QueryBatch(ctx, class, queries, k)
+		return err
+	})
+	return out, err
+}
+
+// Proximity scores one pair through the read rotation.
+func (r *Router) Proximity(ctx context.Context, class, x, y string) (api.ProximityResponse, error) {
+	var out api.ProximityResponse
+	err := r.read(ctx, func(c *Client) error {
+		var err error
+		out, err = c.Proximity(ctx, class, x, y)
+		return err
+	})
+	return out, err
+}
+
+// Update pins to the primary — the one replica that owns writes.
+func (r *Router) Update(ctx context.Context, req api.UpdateRequest) (api.UpdateResponse, error) {
+	return r.primary.Update(ctx, req)
+}
+
+// Stats pins to the primary: per-replica stats differ by catch-up state,
+// and callers of a router want the authoritative position. Use
+// Followers()[i].Stats for a specific replica.
+func (r *Router) Stats(ctx context.Context) (api.StatsResponse, error) {
+	return r.primary.Stats(ctx)
+}
+
+// read runs one read against the rotation: each live follower once,
+// starting at the round-robin cursor, then the primary as the final
+// fallback. A follower failing with a 5xx or a transport error is
+// ejected from rotation immediately (the next probe re-admits it once
+// caught up); a 4xx — the request itself is wrong — returns straight to
+// the caller, because every replica would refuse it identically.
+func (r *Router) read(ctx context.Context, call func(*Client) error) error {
+	idx := r.Live()
+	var lastErr error
+	if len(idx) > 0 {
+		// Reduce the cursor modulo the live-set size while still uint64:
+		// a plain int() of a wrapped counter would go negative and a
+		// negative % in Go stays negative — a panic-grade index.
+		start := int((r.rr.Add(1) - 1) % uint64(len(idx)))
+		for a := 0; a < len(idx); a++ {
+			i := idx[(start+a)%len(idx)]
+			err := call(r.followers[i])
+			if err == nil {
+				r.served[1+i].Add(1)
+				return nil
+			}
+			if !failedOver(err) || ctx.Err() != nil {
+				return err
+			}
+			lastErr = err
+			r.eject(i)
+		}
+	}
+	if err := call(r.primary); err != nil {
+		if lastErr != nil && failedOver(err) {
+			return fmt.Errorf("%w (followers also failed: %v)", err, lastErr)
+		}
+		return err
+	}
+	r.served[0].Add(1)
+	return nil
+}
+
+// failedOver reports whether an error should move the request to the
+// next replica: transport failures and 5xx do, client mistakes (4xx)
+// do not.
+func failedOver(err error) bool {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500
+	}
+	return true // transport-level failure
+}

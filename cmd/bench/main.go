@@ -16,6 +16,11 @@
 //     appends across writer counts, cross-checked by replaying the log
 //     (every record must come back, contiguous and byte-identical) and by
 //     a reopen that must recover the same tail.
+//   - routing (BENCH_routing.json): the routed-serving cycle — one durable
+//     primary plus two real followers in-process, live updates streamed
+//     through the WAL, a replica-aware client Router spreading reads —
+//     cross-checked element-for-element against direct primary answers
+//     before routed vs direct QPS is reported.
 //
 // Any failure — a drifted index, a drifted ranking, a lost WAL record, an
 // unwritable output — exits non-zero without touching the output files
@@ -27,6 +32,7 @@
 //	go run ./cmd/bench [-users 200] [-reps 3] [-workers 1,2,4,8] [-k 10]
 //	                   [-out BENCH_offline.json] [-online-out BENCH_online.json]
 //	                   [-update-out BENCH_update.json] [-wal-out BENCH_wal.json]
+//	                   [-routing-out BENCH_routing.json]
 package main
 
 import (
@@ -110,6 +116,7 @@ func runBench() error {
 	onlineOut := flag.String("online-out", "BENCH_online.json", "online output path ('-' for stdout only)")
 	updateOut := flag.String("update-out", "BENCH_update.json", "live-update output path ('-' for stdout only)")
 	walOut := flag.String("wal-out", "BENCH_wal.json", "WAL append output path ('-' for stdout only)")
+	routingOut := flag.String("routing-out", "BENCH_routing.json", "routed-serving output path ('-' for stdout only)")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersFlag)
@@ -142,6 +149,10 @@ func runBench() error {
 	if err != nil {
 		return err
 	}
+	routing, err := benchRouting(*reps, *k)
+	if err != nil {
+		return err
+	}
 	if err := emit(*out, offline); err != nil {
 		return err
 	}
@@ -151,7 +162,10 @@ func runBench() error {
 	if err := emit(*updateOut, update); err != nil {
 		return err
 	}
-	return emit(*walOut, walRep)
+	if err := emit(*walOut, walRep); err != nil {
+		return err
+	}
+	return emit(*routingOut, routing)
 }
 
 // parseWorkers parses the -workers list, prepending the serial baseline

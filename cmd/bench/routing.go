@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	semprox "repro"
+	"repro/api"
+	"repro/client"
+	"repro/internal/fixtures"
+	"repro/internal/mining"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// routingReport is the BENCH_routing.json shape: the routed-serving
+// cycle — one durable primary, two streaming followers, a replica-aware
+// Router — cross-checked (routed answers must be element-identical to
+// direct primary answers) and then timed routed vs direct.
+type routingReport struct {
+	Benchmark  string    `json:"benchmark"`
+	Followers  int       `json:"followers"`
+	Users      int       `json:"users"`
+	Queries    int       `json:"queries_per_rep"`
+	K          int       `json:"k"`
+	Updates    int       `json:"updates_streamed"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Reps       int       `json:"reps"`
+	Timestamp  time.Time `json:"timestamp"`
+	// Direct: every query straight at the primary. Routed: the same
+	// queries through the Router's follower rotation. Both loopback HTTP.
+	DirectNsPerQuery int64   `json:"direct_ns_per_query"`
+	DirectQPS        float64 `json:"direct_qps"`
+	RoutedNsPerQuery int64   `json:"routed_ns_per_query"`
+	RoutedQPS        float64 `json:"routed_qps"`
+	// FollowerReadShare is the fraction of routed reads served by
+	// followers (the rest fell back to the primary — 0 fallbacks
+	// expected with both followers caught up).
+	FollowerReadShare float64 `json:"follower_read_share"`
+	// BackendReads is the per-backend routed read count, primary first,
+	// then followers in rotation order.
+	BackendReads []uint64 `json:"backend_reads"`
+}
+
+// benchRouting stands up the full replication + routing stack in one
+// process — durable primary (WAL in a temp dir), two real followers
+// bootstrapped over loopback HTTP, live updates streamed through — and
+// fails (exit non-zero, like every other drift check here) unless every
+// routed query is element-identical to the same query asked of the
+// primary directly, at every replica the rotation lands on.
+func benchRouting(reps, k int) (*routingReport, error) {
+	g := fixtures.Toy()
+	opts := semprox.DefaultOptions()
+	opts.Mining = mining.Options{MaxNodes: 4, MinSupport: 1}
+	opts.Train.Restarts = 2
+	opts.Train.MaxIters = 200
+	eng, err := semprox.NewEngine(g, "user", opts)
+	if err != nil {
+		return nil, err
+	}
+	eng.Train("classmate", []semprox.Example{
+		{Q: g.NodeByName("Kate"), X: g.NodeByName("Jay"), Y: g.NodeByName("Alice")},
+		{Q: g.NodeByName("Bob"), X: g.NodeByName("Tom"), Y: g.NodeByName("Alice")},
+	})
+
+	dir, err := os.MkdirTemp("", "bench-routing-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	srv := server.New(eng)
+	srv.AttachWAL(w)
+	pts := httptest.NewServer(srv)
+	defer pts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const nFollowers = 2
+	var followers []*replica.Follower
+	var urls []string
+	for i := 0; i < nFollowers; i++ {
+		f := replica.NewFollower(pts.URL, pts.Client())
+		f.PollWait = 200 * time.Millisecond
+		f.Backoff = 20 * time.Millisecond
+		if err := f.Bootstrap(ctx); err != nil {
+			return nil, fmt.Errorf("routing: bootstrap follower %d: %w", i, err)
+		}
+		go f.Run(ctx) //nolint:errcheck // ends with ctx
+		fsrv := server.New(f.Engine())
+		fsrv.SetFollower(f)
+		fts := httptest.NewServer(fsrv)
+		defer fts.Close()
+		followers = append(followers, f)
+		urls = append(urls, fts.URL)
+	}
+
+	// Live updates through the routed write path (pinned to the primary)
+	// so the followers stream real WAL records before serving.
+	router := client.NewRouter(pts.URL, urls, pts.Client())
+	const updates = 4
+	for i := 0; i < updates; i++ {
+		if _, err := router.Update(ctx, api.UpdateRequest{
+			Nodes: []api.UpdateNode{{Type: "user", Name: fmt.Sprintf("routed-%d", i)}},
+			Edges: []api.UpdateEdge{{U: fmt.Sprintf("routed-%d", i), V: "Kate"}},
+		}); err != nil {
+			return nil, fmt.Errorf("routing: update %d: %w", i, err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ready := 0
+		for _, f := range followers {
+			if _, _, _, ok := f.Status(); ok {
+				ready++
+			}
+		}
+		if ready == nFollowers && router.Probe(ctx) == nFollowers {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("routing: followers never caught up (%d/%d ready)", ready, nFollowers)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Cross-check before any timing: routed must equal direct, element
+	// for element, often enough to hit every replica in rotation.
+	direct := client.New(pts.URL, pts.Client())
+	fg := eng.Graph()
+	var names []string
+	for _, q := range fg.NodesOfType(fg.Types().ID("user")) {
+		names = append(names, fg.Name(q))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want, err := direct.Query(ctx, "classmate", name, k)
+		if err != nil {
+			return nil, fmt.Errorf("routing: direct query %q: %w", name, err)
+		}
+		for rep := 0; rep < nFollowers+1; rep++ {
+			got, err := router.Query(ctx, "classmate", name, k)
+			if err != nil {
+				return nil, fmt.Errorf("routing: routed query %q: %w", name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				return nil, fmt.Errorf("routing: routed query %q diverged from the direct primary answer", name)
+			}
+		}
+	}
+
+	rep := &routingReport{
+		Benchmark:  "routed_serving",
+		Followers:  nFollowers,
+		Users:      len(names),
+		Queries:    len(names),
+		K:          k,
+		Updates:    updates,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+		Timestamp:  time.Now().UTC(),
+	}
+	var directBest, routedBest time.Duration
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		for _, name := range names {
+			if _, err := direct.Query(ctx, "classmate", name, k); err != nil {
+				return nil, err
+			}
+		}
+		if d := time.Since(t0); directBest == 0 || d < directBest {
+			directBest = d
+		}
+		t0 = time.Now()
+		for _, name := range names {
+			if _, err := router.Query(ctx, "classmate", name, k); err != nil {
+				return nil, err
+			}
+		}
+		if d := time.Since(t0); routedBest == 0 || d < routedBest {
+			routedBest = d
+		}
+	}
+	rep.DirectNsPerQuery = directBest.Nanoseconds() / int64(len(names))
+	rep.DirectQPS = float64(len(names)) / directBest.Seconds()
+	rep.RoutedNsPerQuery = routedBest.Nanoseconds() / int64(len(names))
+	rep.RoutedQPS = float64(len(names)) / routedBest.Seconds()
+
+	counts := router.Counts()
+	primaryReads := counts[pts.URL]
+	var followerReads uint64
+	rep.BackendReads = []uint64{primaryReads}
+	for _, u := range urls {
+		followerReads += counts[u]
+		rep.BackendReads = append(rep.BackendReads, counts[u])
+	}
+	total := primaryReads + followerReads
+	if total > 0 {
+		rep.FollowerReadShare = float64(followerReads) / float64(total)
+	}
+	// With both followers live the primary serves zero routed reads; a
+	// fallback here means readiness flapped mid-bench, which is drift.
+	if primaryReads != 0 {
+		return nil, fmt.Errorf("routing: %d routed reads fell back to the primary with %d live followers", primaryReads, nFollowers)
+	}
+	for i, u := range urls {
+		if counts[u] == 0 {
+			return nil, fmt.Errorf("routing: follower %d served no routed reads (rotation broken)", i)
+		}
+	}
+	fmt.Printf("routing followers=%d direct=%7.0f qps routed=%7.0f qps follower_share=%.2f\n",
+		nFollowers, rep.DirectQPS, rep.RoutedQPS, rep.FollowerReadShare)
+	return rep, nil
+}

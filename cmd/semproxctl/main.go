@@ -1,0 +1,227 @@
+// Command semproxctl is the semprox /v1 API from the command line — a
+// thin shell over the typed client package, so scripts and operators
+// speak the exact same wire contract (and the same replica-aware
+// routing) as in-process consumers. Reads spread across caught-up
+// followers with failover to the primary; updates pin to the primary.
+//
+// Examples:
+//
+//	# One routed query (round-robin over caught-up followers).
+//	semproxctl -primary http://localhost:8080 \
+//	           -followers http://localhost:8081,http://localhost:8082 \
+//	           -class college -query user-17 -k 5
+//
+//	# 100 repetitions of the same query; every response must be
+//	# byte-identical to the first or the command exits non-zero — a
+//	# routed-consistency check across whatever replicas serve them.
+//	semproxctl -primary http://localhost:8080 -followers http://localhost:8081 \
+//	           -class college -query user-17 -n 100
+//
+//	# A live update (pinned to the primary), then positions.
+//	semproxctl -primary http://localhost:8080 \
+//	           -update '{"nodes":[{"type":"user","name":"zoe"}],"edges":[{"u":"zoe","v":"user-1"}]}'
+//	semproxctl -primary http://localhost:8080 -stats
+//	semproxctl -primary http://localhost:8080 -followers http://localhost:8081 -ready
+//
+// Exactly one action (-query, -x/-y proximity, -update, -stats, -ready)
+// per invocation; the response JSON goes to stdout, diagnostics to
+// stderr.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/replica"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("semproxctl: ")
+	var (
+		primary   = flag.String("primary", "", "primary base URL (required), e.g. http://localhost:8080")
+		followers = flag.String("followers", "", "comma-separated follower base URLs to spread reads across")
+		class     = flag.String("class", "", "trained class for -query/-proximity")
+		query     = flag.String("query", "", "query node name: print the routed ranking")
+		proxX     = flag.String("x", "", "proximity pair: first node name (with -y)")
+		proxY     = flag.String("y", "", "proximity pair: second node name (with -x)")
+		k         = flag.Int("k", 0, "result count (0 = server default)")
+		n         = flag.Int("n", 1, "repeat the read n times; all responses must be identical")
+		update    = flag.String("update", "", "update JSON {\"nodes\":[...],\"edges\":[...]} to apply through the primary")
+		stats     = flag.Bool("stats", false, "print the primary's /v1/stats")
+		ready     = flag.Bool("ready", false, "print readiness of the primary and every follower; non-zero exit if any is not ready")
+		timeout   = flag.Duration("timeout", 30*time.Second, "overall command timeout")
+		counts    = flag.Bool("counts", false, "after the reads, print per-backend served counts to stderr")
+	)
+	flag.Parse()
+	if err := run(*primary, *followers, *class, *query, *proxX, *proxY,
+		*update, *k, *n, *stats, *ready, *counts, *timeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(primary, followers, class, query, proxX, proxY, update string,
+	k, n int, stats, ready, counts bool, timeout time.Duration) error {
+	if primary == "" {
+		return fmt.Errorf("-primary is required")
+	}
+	if err := replica.ValidPrimaryURL(primary); err != nil {
+		return err
+	}
+	var followerURLs []string
+	for _, u := range strings.Split(followers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			if err := replica.ValidPrimaryURL(u); err != nil {
+				return fmt.Errorf("follower %q: %w", u, err)
+			}
+			followerURLs = append(followerURLs, u)
+		}
+	}
+	actions := 0
+	for _, on := range []bool{query != "", proxX != "" || proxY != "", update != "", stats, ready} {
+		if on {
+			actions++
+		}
+	}
+	if actions != 1 {
+		return fmt.Errorf("pick exactly one of -query, -x/-y, -update, -stats, -ready (got %d)", actions)
+	}
+	if n < 1 {
+		return fmt.Errorf("-n must be >= 1, got %d", n)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	router := client.NewRouter(primary, followerURLs, nil)
+	if len(followerURLs) > 0 && (query != "" || proxX != "") {
+		live := router.Probe(ctx)
+		fmt.Fprintf(os.Stderr, "semproxctl: %d/%d followers in rotation\n", live, len(followerURLs))
+	}
+
+	switch {
+	case ready:
+		return printReady(ctx, router)
+	case stats:
+		st, err := router.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return emit(st)
+	case update != "":
+		var req api.UpdateRequest
+		dec := json.NewDecoder(strings.NewReader(update))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return fmt.Errorf("-update JSON: %w", err)
+		}
+		resp, err := router.Update(ctx, req)
+		if err != nil {
+			return err
+		}
+		return emit(resp)
+	case query != "":
+		if class == "" {
+			return fmt.Errorf("-query needs -class")
+		}
+		return repeatRead(ctx, router, n, counts, func() (any, error) {
+			return router.Query(ctx, class, query, k)
+		})
+	default: // proximity
+		if class == "" || proxX == "" || proxY == "" {
+			return fmt.Errorf("proximity needs -class, -x and -y")
+		}
+		return repeatRead(ctx, router, n, counts, func() (any, error) {
+			return router.Proximity(ctx, class, proxX, proxY)
+		})
+	}
+}
+
+// repeatRead runs one routed read n times, demands every response be
+// byte-identical to the first (replicas serving a routed query must be
+// indistinguishable), prints the response once, and optionally reports
+// which backends served.
+func repeatRead(ctx context.Context, router *client.Router, n int, counts bool, read func() (any, error)) error {
+	var first []byte
+	for i := 0; i < n; i++ {
+		resp, err := read()
+		if err != nil {
+			return fmt.Errorf("read %d/%d: %w", i+1, n, err)
+		}
+		js, err := json.Marshal(resp)
+		if err != nil {
+			return err
+		}
+		if first == nil {
+			first = js
+		} else if !bytes.Equal(js, first) {
+			return fmt.Errorf("read %d/%d diverged across replicas:\nfirst: %s\n  now: %s", i+1, n, first, js)
+		}
+	}
+	if counts {
+		for url, c := range router.Counts() {
+			fmt.Fprintf(os.Stderr, "semproxctl: %8d reads <- %s\n", c, url)
+		}
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, first, "", "  "); err != nil {
+		return err
+	}
+	fmt.Println(pretty.String())
+	return nil
+}
+
+// printReady reports every replica's /v1/readyz as one JSON document and
+// fails if any replica is unreachable or not ready.
+func printReady(ctx context.Context, router *client.Router) error {
+	type replicaState struct {
+		URL   string             `json:"url"`
+		Error string             `json:"error,omitempty"`
+		State *api.ReadyResponse `json:"state,omitempty"`
+	}
+	var out []replicaState
+	allReady := true
+	probe := func(c *client.Client) {
+		st, err := c.Ready(ctx)
+		rs := replicaState{URL: c.BaseURL()}
+		if err != nil {
+			rs.Error = err.Error()
+			allReady = false
+		} else {
+			rs.State = &st
+			if !st.Ready() {
+				allReady = false
+			}
+		}
+		out = append(out, rs)
+	}
+	probe(router.Primary())
+	for _, f := range router.Followers() {
+		probe(f)
+	}
+	if err := emit(out); err != nil {
+		return err
+	}
+	if !allReady {
+		return fmt.Errorf("not all replicas ready")
+	}
+	return nil
+}
+
+// emit prints v as indented JSON on stdout.
+func emit(v any) error {
+	js, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(js))
+	return nil
+}

@@ -18,20 +18,27 @@
 //	semproxd -snapshot engine.snap -wal /var/lib/semprox/wal
 //
 //	# Read replica: bootstrap from the primary's snapshot endpoint,
-//	# stream its log, serve identical /query answers. /readyz flips to
-//	# 200 once caught up; /update on a follower is 503.
+//	# stream its log, serve identical /v1/query answers. /v1/readyz flips
+//	# to 200 once caught up; /v1/update on a follower is 503.
 //	semproxd -follow http://primary:8080 -addr :8081
 //
-//	# Query either of them.
-//	curl 'localhost:8080/query?class=college&query=user-17&k=5'
-//	curl -d '{"class":"college","queries":["user-17","user-3"],"k":5}' localhost:8080/query
+//	# Query either of them. Every endpoint lives under /v1 (the wire
+//	# contract is the api package); the unversioned pre-v1 paths keep
+//	# working as byte-identical aliases.
+//	curl 'localhost:8080/v1/query?class=college&query=user-17&k=5'
+//	curl -d '{"class":"college","queries":["user-17","user-3"],"k":5}' localhost:8080/v1/query
+//
+//	# Or skip curl: cmd/semproxctl wraps the typed client package and
+//	# spreads reads across caught-up followers with failover.
+//	semproxctl -primary http://localhost:8080 -followers http://localhost:8081 \
+//	           -class college -query user-17 -k 5
 //
 //	# Mutate the live graph through the primary (queries keep serving;
 //	# the epoch swaps atomically, the WAL makes it durable, followers
 //	# stream it), then inspect positions.
-//	curl -d '{"nodes":[{"type":"user","name":"zoe"}],"edges":[{"u":"zoe","v":"school-3"}]}' localhost:8080/update
-//	curl localhost:8080/stats
-//	curl localhost:8081/readyz
+//	curl -d '{"nodes":[{"type":"user","name":"zoe"}],"edges":[{"u":"zoe","v":"school-3"}]}' localhost:8080/v1/update
+//	curl localhost:8080/v1/stats
+//	curl localhost:8081/v1/readyz
 package main
 
 import (

@@ -64,6 +64,30 @@ func (g *Graph) WithVersion(v uint64) *Graph {
 // fold into flat CSR storage.
 func (g *Graph) Overlaid() bool { return g.ovl != nil }
 
+// ValidateApply reports whether d would be accepted by Apply on a graph
+// holding numNodes nodes under the given type registry — exactly Apply's
+// rejection conditions (unknown type name, out-of-range edge endpoint),
+// factored out as THE definition of delta acceptability. Apply itself
+// validates through it, and replication uses it to predict a logged
+// record's acceptance at the record's own position in a coalesced batch:
+// a record the primary rejected must fail on followers too, and sharing
+// the predicate makes that structural — a future extra rejection
+// condition added here is automatically enforced on both sides.
+func ValidateApply(types *TypeRegistry, numNodes int, d Delta) error {
+	newN := numNodes + len(d.Nodes)
+	for i, n := range d.Nodes {
+		if types.ID(n.Type) == InvalidType {
+			return fmt.Errorf("graph: delta node %d has unknown type %q", i, n.Type)
+		}
+	}
+	for _, e := range d.Edges {
+		if e.U < 0 || int(e.U) >= newN || e.V < 0 || int(e.V) >= newN {
+			return fmt.Errorf("graph: delta edge (%d,%d) references missing node (have %d)", e.U, e.V, newN)
+		}
+	}
+	return nil
+}
+
 // Apply returns a new graph one version later with the delta's nodes and
 // edges added, plus the sorted set of existing-row nodes whose adjacency
 // actually changed (endpoints of genuinely new edges — the seeds for
@@ -71,23 +95,17 @@ func (g *Graph) Overlaid() bool { return g.ovl != nil }
 // adjacency storage is shared.
 //
 // Apply fails if a node names an unregistered type or an edge endpoint is
-// out of range; on failure the receiver is unchanged and no partial state
-// escapes.
+// out of range (see ValidateApply); on failure the receiver is unchanged
+// and no partial state escapes.
 func (g *Graph) Apply(d Delta) (*Graph, []NodeID, error) {
 	oldN := g.NumNodes()
 	newN := oldN + len(d.Nodes)
-	newTypes := make([]TypeID, 0, len(d.Nodes))
-	for i, n := range d.Nodes {
-		t := g.types.ID(n.Type)
-		if t == InvalidType {
-			return nil, nil, fmt.Errorf("graph: delta node %d has unknown type %q", i, n.Type)
-		}
-		newTypes = append(newTypes, t)
+	if err := ValidateApply(g.types, oldN, d); err != nil {
+		return nil, nil, err
 	}
-	for _, e := range d.Edges {
-		if e.U < 0 || int(e.U) >= newN || e.V < 0 || int(e.V) >= newN {
-			return nil, nil, fmt.Errorf("graph: delta edge (%d,%d) references missing node (have %d)", e.U, e.V, newN)
-		}
+	newTypes := make([]TypeID, 0, len(d.Nodes))
+	for _, n := range d.Nodes {
+		newTypes = append(newTypes, g.types.ID(n.Type))
 	}
 
 	// Keep only genuinely new edges: no self loops, no duplicates within

@@ -2,29 +2,36 @@ package replica
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"sync/atomic"
 	"time"
 
 	semprox "repro"
+	"repro/client"
 	"repro/internal/graph"
 )
 
 // Follower keeps a local engine converged with a primary: Bootstrap
 // fetches a full snapshot (arriving at the primary's engine state at some
-// LSN), then Run streams /replicate/since records and applies each at its
-// original LSN through Engine.ApplyUpdateAt — the same epoch-swap
-// machinery the primary used, so local reads are lock-free during
-// catch-up and the follower at LSN N answers queries byte-identically to
-// the primary at LSN N.
+// LSN), then Run streams /v1/replicate/since records and applies them
+// through Engine.ApplyUpdateBatchAt — the same epoch-swap machinery the
+// primary used, so local reads are lock-free during catch-up and the
+// follower at LSN N answers queries byte-identically to the primary at
+// LSN N. All primary traffic goes through the typed client package — the
+// wire protocol exists in exactly one place (api).
+//
+// A drained since batch is coalesced into ONE apply: contiguous logged
+// deltas concatenate (new-node ids are assigned deterministically, so
+// the merged delta is id-for-id the sequence it replaces) and the epoch
+// counter advances once per covered record, cutting the epoch churn —
+// graph clones, index patches, class re-merges — of catch-up from one
+// per record to one per poll while keeping the engine byte-identical to
+// a record-at-a-time replica.
 type Follower struct {
-	primary string // base URL, e.g. http://127.0.0.1:8080
-	client  *http.Client
+	c *client.Client
 
 	// Workers retunes the bootstrapped engine for this host (the snapshot
 	// carries the primary's setting); <= 0 keeps one worker per CPU.
@@ -44,13 +51,21 @@ type Follower struct {
 
 // NewFollower returns a follower of the primary at baseURL. Call
 // Bootstrap (or Run, which bootstraps if needed) before serving reads.
-func NewFollower(baseURL string, client *http.Client) *Follower {
-	if client == nil {
-		client = &http.Client{}
+// A nil hc gets a timeout-FREE http.Client, unlike the client package's
+// default: a whole-request timeout also bounds reading the response
+// body, and a snapshot bootstrap streams an engine of unbounded size —
+// a fixed cap would wedge large followers in a bootstrap-retry loop.
+// Per-call deadlines come from the contexts Bootstrap and Run pass in.
+func NewFollower(baseURL string, hc *http.Client) *Follower {
+	if hc == nil {
+		hc = &http.Client{}
 	}
+	c := client.New(baseURL, hc)
+	// The follower is its own retry policy (Backoff between polls);
+	// client-level retries would just delay the lag signal.
+	c.Retries = 0
 	return &Follower{
-		primary:  baseURL,
-		client:   client,
+		c:        c,
 		PollWait: 10 * time.Second,
 		MaxBatch: DefaultMaxBatch,
 		Backoff:  500 * time.Millisecond,
@@ -64,20 +79,12 @@ func (f *Follower) Engine() *semprox.Engine { return f.eng.Load() }
 // loaded engine. The snapshot's LSN becomes the stream position: Run
 // resumes exactly where the snapshot ends.
 func (f *Follower) Bootstrap(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.primary+"/replicate/snapshot", nil)
-	if err != nil {
-		return fmt.Errorf("replica: %w", err)
-	}
-	resp, err := f.client.Do(req)
+	body, err := f.c.ReplicateSnapshot(ctx)
 	if err != nil {
 		return fmt.Errorf("replica: bootstrap: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("replica: bootstrap: primary returned %d: %s", resp.StatusCode, body)
-	}
-	eng, err := semprox.LoadEngine(resp.Body)
+	defer body.Close()
+	eng, err := semprox.LoadEngine(body)
 	if err != nil {
 		return fmt.Errorf("replica: bootstrap: %w", err)
 	}
@@ -88,14 +95,13 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 }
 
 // Run bootstraps (if Bootstrap was not already called) and then streams
-// records until ctx ends, applying each through the epoch machinery and
-// compacting the accumulated overlays after every applied batch.
-// Transient primary failures back off and retry. Divergence — a stream
-// gap (the primary truncated its log past this follower), an
-// undecodable record, or a record the local engine rejects — drops
-// readiness (so /readyz goes 503 and load balancers stop routing here)
-// and re-bootstraps a fresh snapshot from the primary. Run returns only
-// on context cancellation.
+// records until ctx ends, coalescing each drained batch into one apply
+// and compacting the accumulated overlays afterwards. Transient primary
+// failures back off and retry. Divergence — a stream gap (the primary
+// truncated its log past this follower), an undecodable record, or a
+// record the local engine rejects — drops readiness (so /v1/readyz goes
+// 503 and load balancers stop routing here) and re-bootstraps a fresh
+// snapshot from the primary. Run returns only on context cancellation.
 func (f *Follower) Run(ctx context.Context) error {
 	if f.Engine() == nil {
 		if err := f.Bootstrap(ctx); err != nil {
@@ -151,57 +157,81 @@ type applyError struct{ err error }
 func (e *applyError) Error() string { return e.err.Error() }
 func (e *applyError) Unwrap() error { return e.err }
 
-// pollOnce issues one since request and applies its records, returning
-// how many were applied.
+// pollOnce issues one since request through the typed client, coalesces
+// the contiguous records it returned into one delta, and applies it in a
+// single epoch swap (see Engine.ApplyUpdateBatchAt), returning how many
+// records were applied.
 func (f *Follower) pollOnce(ctx context.Context) (int, error) {
 	after := f.applied.Load()
-	u := fmt.Sprintf("%s/replicate/since?lsn=%d&max=%d&wait_ms=%d",
-		f.primary, after, f.MaxBatch, f.PollWait.Milliseconds())
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return 0, fmt.Errorf("replica: %w", err)
-	}
-	resp, err := f.client.Do(req)
+	sr, err := f.c.ReplicateSince(ctx, after, f.MaxBatch, f.PollWait)
 	if err != nil {
 		return 0, fmt.Errorf("replica: poll: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return 0, fmt.Errorf("replica: poll: primary returned %d: %s", resp.StatusCode, body)
-	}
-	var sr sinceResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&sr); err != nil {
-		return 0, fmt.Errorf("replica: poll: %w", err)
-	}
+	// Coalesce the batch. Records at or below the applied position are
+	// duplicate deliveries after a retry; past that the LSNs must be
+	// contiguous — a gap means the primary truncated its log past this
+	// follower and records in between are gone, so applying anything
+	// later would silently diverge. Each record is validated EXACTLY as
+	// a one-at-a-time apply would validate it (known types, edge
+	// endpoints within the node count as of ITS position in the stream):
+	// a record the primary logged but rejected-and-skipped must fail here
+	// too, not be absorbed by a merged delta whose later records happen
+	// to bring its out-of-range endpoints into range. The contiguous
+	// valid prefix before a gap / undecodable / invalid record still
+	// applies; the divergence error surfaces after.
 	eng := f.Engine()
-	applied := 0
+	var d graph.Delta
+	nodes := eng.Graph().NumNodes()
+	last, count := after, 0
+	var diverged error
 	for _, rec := range sr.Records {
-		cur := f.applied.Load()
-		if rec.LSN <= cur {
+		if rec.LSN <= last {
 			continue // duplicate delivery after a retry
 		}
-		if rec.LSN != cur+1 {
-			// A gap means the primary truncated its log past this
-			// follower's position: records cur+1..rec.LSN-1 are gone and
-			// applying anything later would silently diverge.
-			return applied, &applyError{fmt.Errorf("replica: stream gap: record %d after %d (primary log truncated past us)", rec.LSN, cur)}
+		if rec.LSN != last+1 {
+			diverged = &applyError{fmt.Errorf("replica: stream gap: record %d after %d (primary log truncated past us)", rec.LSN, last)}
+			break
 		}
-		d, err := graph.DecodeDelta(rec.Delta)
+		rd, err := graph.DecodeDelta(rec.Delta)
 		if err != nil {
-			return applied, &applyError{fmt.Errorf("replica: record %d: %w", rec.LSN, err)}
+			diverged = &applyError{fmt.Errorf("replica: record %d: %w", rec.LSN, err)}
+			break
 		}
-		if _, err := eng.ApplyUpdateAt(d, rec.LSN); err != nil {
-			return applied, &applyError{fmt.Errorf("replica: apply record %d: %w", rec.LSN, err)}
+		if err := applicable(eng, nodes, rd); err != nil {
+			diverged = &applyError{fmt.Errorf("replica: apply record %d: %w", rec.LSN, err)}
+			break
 		}
-		f.applied.Store(rec.LSN)
-		applied++
+		d.Nodes = append(d.Nodes, rd.Nodes...)
+		d.Edges = append(d.Edges, rd.Edges...)
+		nodes += len(rd.Nodes)
+		last = rec.LSN
+		count++
+	}
+	applied := 0
+	if count > 0 {
+		if _, err := eng.ApplyUpdateBatchAt(d, last, count); err != nil {
+			return 0, &applyError{fmt.Errorf("replica: apply records %d..%d: %w", after+1, last, err)}
+		}
+		f.applied.Store(last)
+		applied = count
+	}
+	if diverged != nil {
+		return applied, diverged
 	}
 	if sr.LastLSN > f.target.Load() {
 		f.target.Store(sr.LastLSN)
 	}
 	f.polled.Store(true)
 	return applied, nil
+}
+
+// applicable reports whether d would be accepted by a graph currently
+// holding `nodes` nodes — graph.Apply's own acceptance predicate
+// (graph.ValidateApply), evaluated at the record's position in the
+// stream rather than against the merged batch, so a record the primary
+// rejected is never absorbed by coalescing.
+func applicable(eng *semprox.Engine, nodes int, d graph.Delta) error {
+	return graph.ValidateApply(eng.Graph().Types(), nodes, d)
 }
 
 // Status reports the follower's replication position in one consistent
@@ -229,7 +259,7 @@ func (f *Follower) Lag() uint64 {
 }
 
 // PrimaryURL returns the primary base URL the follower replicates from.
-func (f *Follower) PrimaryURL() string { return f.primary }
+func (f *Follower) PrimaryURL() string { return f.c.BaseURL() }
 
 // ValidPrimaryURL rejects -follow values that cannot name a primary;
 // cmd/semproxd validates the flag before bootstrapping.

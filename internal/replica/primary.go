@@ -7,10 +7,11 @@
 // followers can serve /query traffic while the primary alone accepts
 // /update.
 //
-// Wire protocol (mounted by internal/server):
+// Wire protocol (declared in the public api package, mounted by
+// internal/server, spoken by the client package):
 //
-//	GET /replicate/snapshot        an engine snapshot stream (semprox.Save)
-//	GET /replicate/since?lsn=N     records with LSN > N as JSON
+//	GET /v1/replicate/snapshot     an engine snapshot stream (semprox.Save)
+//	GET /v1/replicate/since?lsn=N  records with LSN > N as api.SinceResponse
 //	    [&max=M][&wait_ms=T]       long-polls up to T ms when none exist
 //
 // The since response carries each delta in the same binary encoding the
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	semprox "repro"
+	"repro/api"
 	"repro/internal/wal"
 )
 
@@ -60,21 +62,7 @@ func NewPrimary(eng *semprox.Engine, log *wal.WAL) *Primary {
 	return &Primary{eng: eng, log: log}
 }
 
-// wireRecord is one logged delta on the wire; Delta is the WAL's binary
-// encoding (graph.EncodeDelta), which encoding/json carries as base64.
-type wireRecord struct {
-	LSN   uint64 `json:"lsn"`
-	Delta []byte `json:"delta"`
-}
-
-// sinceResponse is the /replicate/since body.
-type sinceResponse struct {
-	From    uint64       `json:"from"`     // the request's lsn parameter
-	LastLSN uint64       `json:"last_lsn"` // primary durable LSN at read time
-	Records []wireRecord `json:"records"`
-}
-
-// ServeSince answers GET /replicate/since?lsn=N[&max=M][&wait_ms=T]:
+// ServeSince answers GET /v1/replicate/since?lsn=N[&max=M][&wait_ms=T]:
 // records with LSN > N in log order. With wait_ms and no records ready it
 // long-polls until one arrives or the wait elapses (an empty response is
 // not an error — it tells the follower it is caught up at last_lsn). The
@@ -134,14 +122,14 @@ func (p *Primary) ServeSince(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusInternalServerError, nil, fmt.Errorf("read log: %w", err)
 	}
-	resp := sinceResponse{From: after, LastLSN: durable, Records: make([]wireRecord, len(recs))}
+	resp := api.SinceResponse{From: after, LastLSN: durable, Records: make([]api.ReplicateRecord, len(recs))}
 	for i, rec := range recs {
-		resp.Records[i] = wireRecord{LSN: rec.LSN, Delta: rec.Delta}
+		resp.Records[i] = api.ReplicateRecord{LSN: rec.LSN, Delta: rec.Delta}
 	}
 	return http.StatusOK, resp, nil
 }
 
-// ServeSnapshot answers GET /replicate/snapshot with an engine snapshot
+// ServeSnapshot answers GET /v1/replicate/snapshot with an engine snapshot
 // stream — the follower bootstrap source. Save reads one immutable epoch,
 // so the stream is a consistent engine at one (epoch, LSN) point even
 // while updates keep applying.

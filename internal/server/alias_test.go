@@ -1,0 +1,137 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"testing"
+
+	semprox "repro"
+	"repro/api"
+	"repro/internal/wal"
+)
+
+// twinServers builds two byte-identical durable primaries (one engine
+// saved and loaded twice, two empty WALs) so a request sequence can be
+// driven through the /v1 paths on one and the legacy aliases on the
+// other — including mutating requests, whose state must evolve
+// identically on both.
+func twinServers(t *testing.T) (v1, legacy *Server) {
+	t.Helper()
+	_, eng, _ := trainedServer(t)
+	var snap bytes.Buffer
+	if err := eng.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Server {
+		loaded, err := semprox.LoadEngine(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := wal.Open(t.TempDir(), wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		s := New(loaded)
+		s.SetAutoCompact(false) // keep pending counts deterministic mid-sequence
+		s.AttachWAL(w)
+		return s
+	}
+	return mk(), mk()
+}
+
+// TestLegacyAliasesServeByteIdentical is the alias regression contract:
+// every unversioned legacy path must answer byte-for-byte what its /v1
+// twin answers — same status, same headers that matter (Content-Type,
+// Allow), same body — across success, client-error, method-error and
+// mutating requests. The table walks every mounted endpoint.
+func TestLegacyAliasesServeByteIdentical(t *testing.T) {
+	sV1, sLegacy := twinServers(t)
+	steps := []struct {
+		name   string
+		method string
+		path   string // versioned form; the legacy request strips /v1
+		query  string
+		body   string
+	}{
+		{"healthz", http.MethodGet, api.PathHealthz, "", ""},
+		{"healthz bad method", http.MethodPost, api.PathHealthz, "", "{}"},
+		{"classes", http.MethodGet, api.PathClasses, "", ""},
+		{"readyz", http.MethodGet, api.PathReadyz, "", ""},
+		{"stats", http.MethodGet, api.PathStats, "", ""},
+		{"query get", http.MethodGet, api.PathQuery, "?class=classmate&query=Kate&k=5", ""},
+		{"query post single", http.MethodPost, api.PathQuery, "", `{"class":"classmate","query":"Kate","k":3}`},
+		{"query post batch", http.MethodPost, api.PathQuery, "", `{"class":"classmate","queries":["Kate","Bob"],"k":4}`},
+		{"query unknown class", http.MethodGet, api.PathQuery, "?class=nope&query=Kate", ""},
+		{"query unknown node", http.MethodGet, api.PathQuery, "?class=classmate&query=Nobody", ""},
+		{"query malformed", http.MethodPost, api.PathQuery, "", `{"class":`},
+		{"query bad method", http.MethodDelete, api.PathQuery, "", ""},
+		{"proximity get", http.MethodGet, api.PathProximity, "?class=classmate&x=Kate&y=Jay", ""},
+		{"proximity post", http.MethodPost, api.PathProximity, "", `{"class":"classmate","x":"Kate","y":"Jay"}`},
+		{"proximity missing y", http.MethodGet, api.PathProximity, "?class=classmate&x=Kate", ""},
+		{"update", http.MethodPost, api.PathUpdate, "", `{"nodes":[{"type":"user","name":"al-1"}],"edges":[{"u":"al-1","v":"Kate"}]}`},
+		{"update second", http.MethodPost, api.PathUpdate, "", `{"edges":[{"u":"al-1","v":"Alice"}]}`},
+		{"update empty", http.MethodPost, api.PathUpdate, "", `{}`},
+		{"update unknown type", http.MethodPost, api.PathUpdate, "", `{"nodes":[{"type":"starship","name":"x"}]}`},
+		{"update bad method", http.MethodGet, api.PathUpdate, "", ""},
+		{"stats after updates", http.MethodGet, api.PathStats, "", ""},
+		{"query after updates", http.MethodGet, api.PathQuery, "?class=classmate&query=al-1&k=5", ""},
+		{"replicate since", http.MethodGet, api.PathReplicateSince, "?lsn=0", ""},
+		{"replicate since caught up", http.MethodGet, api.PathReplicateSince, "?lsn=2", ""},
+		{"replicate since bad lsn", http.MethodGet, api.PathReplicateSince, "?lsn=x", ""},
+		{"replicate snapshot", http.MethodGet, api.PathReplicateSnapshot, "", ""},
+		{"readyz after updates", http.MethodGet, api.PathReadyz, "", ""},
+	}
+	for _, tc := range steps {
+		legacyPath := api.LegacyPath(tc.path)
+		if legacyPath == tc.path {
+			t.Fatalf("%s: %q has no legacy alias", tc.name, tc.path)
+		}
+		r1 := do(t, sV1, tc.method, tc.path+tc.query, tc.body)
+		r2 := do(t, sLegacy, tc.method, legacyPath+tc.query, tc.body)
+		if r1.Code != r2.Code {
+			t.Fatalf("%s: status %d (v1) vs %d (legacy)\nv1: %s\nlegacy: %s",
+				tc.name, r1.Code, r2.Code, r1.Body.String(), r2.Body.String())
+		}
+		for _, h := range []string{"Content-Type", "Allow"} {
+			if a, b := r1.Header().Get(h), r2.Header().Get(h); a != b {
+				t.Fatalf("%s: header %s %q (v1) vs %q (legacy)", tc.name, h, a, b)
+			}
+		}
+		if !bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()) {
+			t.Fatalf("%s: body drifted between %s and %s:\nv1: %s\nlegacy: %s",
+				tc.name, tc.path, legacyPath, r1.Body.String(), r2.Body.String())
+		}
+	}
+
+	// The two engines must have converged through the mutating steps —
+	// the aliases really hit the same handlers, not lookalike copies.
+	st1 := do(t, sV1, http.MethodGet, api.PathStats, "")
+	st2 := do(t, sLegacy, http.MethodGet, "/stats", "")
+	if !bytes.Equal(st1.Body.Bytes(), st2.Body.Bytes()) {
+		t.Fatalf("final stats drifted:\n%s\nvs\n%s", st1.Body.String(), st2.Body.String())
+	}
+}
+
+// TestEveryEndpointMountedTwice guards the route table: each api path
+// must answer on both its versioned and legacy form (anything mounted
+// once would 404 on the other, which the byte-identity test above could
+// miss if the table ever lagged the mux).
+func TestEveryEndpointMountedTwice(t *testing.T) {
+	s, _, _ := trainedServer(t)
+	for _, p := range api.Paths() {
+		for _, target := range []string{p, api.LegacyPath(p)} {
+			rec := do(t, s, http.MethodGet, target, "")
+			if rec.Code == http.StatusNotFound && bytes.Contains(rec.Body.Bytes(), []byte("404 page not found")) {
+				t.Errorf("%s: not mounted (%d: %s)", target, rec.Code, rec.Body.String())
+			}
+		}
+	}
+	// Sanity: an unmounted path really does produce the mux 404 this test
+	// keys on.
+	rec := do(t, s, http.MethodGet, fmt.Sprintf("%s/nope", api.Prefix), "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unmounted path = %d, want 404", rec.Code)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	semprox "repro"
+	"repro/api"
 	"repro/internal/graph"
 	"repro/internal/replica"
 	"repro/internal/wal"
@@ -33,7 +34,7 @@ func TestReadyzStandalone(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
-	var body readyResponse
+	var body api.ReadyResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestUpdateDurableAndReplicated(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("update status = %d (%s)", rec.Code, rec.Body.String())
 	}
-	var ur updateResponse
+	var ur api.UpdateResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &ur); err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestUpdateDurableAndReplicated(t *testing.T) {
 	}
 
 	rec = do(t, s, http.MethodGet, "/stats", "")
-	var st statsResponse
+	var st api.StatsResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestUpdateDurableAndReplicated(t *testing.T) {
 	}
 
 	rec = do(t, s, http.MethodGet, "/readyz", "")
-	var rr readyResponse
+	var rr api.ReadyResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestReadyzWALFailed(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("readyz on a write-dead primary = %d, want 503", rec.Code)
 	}
-	var rr readyResponse
+	var rr api.ReadyResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestFollowerRebootstrapSwapsServedEngine(t *testing.T) {
 	}
 
 	// Every read surface serves the re-bootstrapped engine.
-	var st statsResponse
+	var st api.StatsResponse
 	if err := json.Unmarshal(do(t, fsrv, http.MethodGet, "/stats", "").Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestFollowerRebootstrapSwapsServedEngine(t *testing.T) {
 		t.Fatalf("follower /stats = LSN %d nodes %d, want LSN %d nodes %d (stale engine served?)",
 			st.LSN, st.Nodes, peng.LSN(), oldNodes+1)
 	}
-	var hr healthResponse
+	var hr api.HealthResponse
 	if err := json.Unmarshal(do(t, fsrv, http.MethodGet, "/healthz", "").Body.Bytes(), &hr); err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestFollowerServerIsReadOnly(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("readyz on unbootstrapped follower = %d, want 503", rec.Code)
 	}
-	var rr readyResponse
+	var rr api.ReadyResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
 		t.Fatal(err)
 	}

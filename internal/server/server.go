@@ -1,38 +1,43 @@
 // Package server exposes a semprox.Engine over HTTP/JSON — the online
-// serving layer of the ROADMAP's "heavy traffic" north star. Endpoints:
+// serving layer of the ROADMAP's "heavy traffic" north star. The wire
+// contract — every request/response type, the error envelope, the path
+// constants, the request limits — lives in the public api package; this
+// package only binds those shapes to an engine. Endpoints (all under
+// /v1, with the unversioned pre-v1 paths served as byte-identical
+// aliases):
 //
-//	GET  /healthz    liveness plus graph/class inventory
-//	GET  /classes    trained class names
-//	GET  /query      one ranked query (?class=&query=&k=)
-//	POST /query      one query {"class","query","k"} or a batch
-//	                 {"class","queries":[...],"k"} in a single request
-//	GET  /proximity  one pair score (?class=&x=&y=)
-//	POST /proximity  one pair score {"class","x","y"}
-//	POST /update     batched live node/edge additions
-//	                 {"nodes":[{"type","name"}],"edges":[{"u","v"}]}
-//	GET  /stats      serving epoch + LSN, graph counts, matched
-//	                 metagraphs, pending-compaction state
-//	GET  /readyz     readiness: primaries are ready once serving;
-//	                 followers report replication lag and stay 503 until
-//	                 caught up
-//	GET  /replicate/snapshot   engine snapshot stream (follower bootstrap)
-//	GET  /replicate/since      WAL records after an LSN, long-polling
-//	                           (503 unless a WAL is attached)
+//	GET  /v1/healthz    liveness plus graph/class inventory
+//	GET  /v1/classes    trained class names
+//	GET  /v1/query      one ranked query (?class=&query=&k=)
+//	POST /v1/query      one query {"class","query","k"} or a batch
+//	                    {"class","queries":[...],"k"} in a single request
+//	GET  /v1/proximity  one pair score (?class=&x=&y=)
+//	POST /v1/proximity  one pair score {"class","x","y"}
+//	POST /v1/update     batched live node/edge additions
+//	                    {"nodes":[{"type","name"}],"edges":[{"u","v"}]}
+//	GET  /v1/stats      serving epoch + LSN, graph counts, matched
+//	                    metagraphs, pending-compaction state
+//	GET  /v1/readyz     readiness: primaries are ready once serving;
+//	                    followers report replication lag and stay 503
+//	                    until caught up
+//	GET  /v1/replicate/snapshot   engine snapshot stream (follower bootstrap)
+//	GET  /v1/replicate/since      WAL records after an LSN, long-polling
+//	                              (503 unless a WAL is attached)
 //
-// Every error is structured JSON — {"error":{"code","message"}} — with a
-// 4xx status for client mistakes (unknown class, node or type, malformed
-// JSON, oversized batch), so callers never parse free-text failures.
-// Handlers only use the engine operations documented as safe for
-// concurrent use, so the server keeps answering while classes train,
-// updates apply, and overlays compact in the background: an update swaps
-// the serving epoch atomically, and a query sees the old epoch or the new
-// one, never a mix.
+// Every error is the api package's structured envelope —
+// {"error":{"code","message"}} — with a 4xx status for client mistakes
+// (unknown class, node or type, malformed JSON, oversized batch), so
+// callers never parse free-text failures. Handlers only use the engine
+// operations documented as safe for concurrent use, so the server keeps
+// answering while classes train, updates apply, and overlays compact in
+// the background: an update swaps the serving epoch atomically, and a
+// query sees the old epoch or the new one, never a mix.
 //
 // Durability and roles: AttachWAL makes the server a primary — every
-// /update is appended and fsynced to the write-ahead log before it is
-// applied, and the /replicate endpoints feed followers. SetFollower makes
-// it a read replica — /update returns 503 (the primary owns writes) and
-// /readyz reports catch-up progress.
+// update is appended and fsynced to the write-ahead log before it is
+// applied, and the /v1/replicate endpoints feed followers. SetFollower
+// makes it a read replica — updates return 503 (the primary owns writes)
+// and /v1/readyz reports catch-up progress.
 package server
 
 import (
@@ -47,35 +52,30 @@ import (
 	"sync"
 
 	semprox "repro"
+	"repro/api"
 	"repro/internal/replica"
 	"repro/internal/wal"
 )
 
-// MaxBatch bounds the queries accepted by one batched /query request; a
-// larger batch is a client error, not a way to monopolize the process.
-const MaxBatch = 1024
-
-// maxBodyBytes bounds a request body (a full batch of long node names fits
-// comfortably).
-const maxBodyBytes = 1 << 20
-
-// defaultK is the result count when a request leaves k unset.
-const defaultK = 10
-
-// MaxUpdate bounds the node plus edge additions accepted by one /update
-// request.
-const MaxUpdate = 4096
+// Request limits re-exported from the wire contract; the api package is
+// the source of truth.
+const (
+	MaxBatch     = api.MaxBatch
+	MaxUpdate    = api.MaxUpdate
+	maxBodyBytes = api.MaxBodyBytes
+	defaultK     = api.DefaultK
+)
 
 // Server routes HTTP requests to one engine.
 type Server struct {
 	eng *semprox.Engine
 	mux *http.ServeMux
 	// autoCompact folds update overlays into flat storage from a
-	// background goroutine after each /update; compacting wakes track the
+	// background goroutine after each update; compacting wakes track the
 	// in-flight goroutines so tests (and graceful shutdown) can wait.
 	autoCompact bool
 	compacting  sync.WaitGroup
-	// updateMu serializes /update handlers. The handler predicts the ids
+	// updateMu serializes update handlers. The handler predicts the ids
 	// of the nodes it adds (n, n+1, ... off the current graph) before
 	// calling ApplyUpdate; two concurrent handlers predicting off the
 	// same epoch would race to the same ids and silently cross-wire their
@@ -85,48 +85,55 @@ type Server struct {
 	//
 	// Known limitation: because the append happens under this lock, the
 	// WAL's group-commit batching never engages for HTTP updates — each
-	// /update pays a dedicated fsync, capping write throughput at roughly
+	// update pays a dedicated fsync, capping write throughput at roughly
 	// one update per fsync latency. Lifting the append out is unsafe as
 	// long as node-id prediction reads the pre-append graph; batching
 	// across requests would need the id resolution moved into the engine.
 	updateMu sync.Mutex
-	// log, when attached, makes every /update durable before it applies;
-	// primary then serves it to followers over /replicate.
+	// log, when attached, makes every update durable before it applies;
+	// primary then serves it to followers over /v1/replicate.
 	log     *wal.WAL
 	primary *replica.Primary
-	// follower, when set, marks this server a read replica: /update is
-	// refused and /readyz reports replication lag.
+	// follower, when set, marks this server a read replica: updates are
+	// refused and /v1/readyz reports replication lag.
 	follower *replica.Follower
 }
 
 // New wraps an engine in an HTTP handler with background compaction after
-// updates enabled.
+// updates enabled. Every endpoint is mounted twice — at its versioned
+// /v1 path and at its unversioned legacy alias — serving byte-identical
+// responses (error messages mention the canonical /v1 path either way).
 func New(eng *semprox.Engine) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux(), autoCompact: true}
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/classes", s.handleClasses)
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/proximity", s.handleProximity)
-	s.mux.HandleFunc("/update", s.handleUpdate)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.HandleFunc("/replicate/since", s.handleReplicateSince)
-	s.mux.HandleFunc("/replicate/snapshot", s.handleReplicateSnapshot)
+	for path, h := range map[string]http.HandlerFunc{
+		api.PathHealthz:           s.handleHealthz,
+		api.PathClasses:           s.handleClasses,
+		api.PathQuery:             s.handleQuery,
+		api.PathProximity:         s.handleProximity,
+		api.PathUpdate:            s.handleUpdate,
+		api.PathStats:             s.handleStats,
+		api.PathReadyz:            s.handleReadyz,
+		api.PathReplicateSince:    s.handleReplicateSince,
+		api.PathReplicateSnapshot: s.handleReplicateSnapshot,
+	} {
+		s.mux.HandleFunc(path, h)
+		s.mux.HandleFunc(api.LegacyPath(path), h)
+	}
 	return s
 }
 
-// AttachWAL makes the server a primary: every accepted /update is
+// AttachWAL makes the server a primary: every accepted update is
 // appended (and fsynced, via the log's group commit) to w before it is
-// applied to the engine, and the /replicate endpoints serve the log to
-// followers. Call before serving.
+// applied to the engine, and the /v1/replicate endpoints serve the log
+// to followers. Call before serving.
 func (s *Server) AttachWAL(w *wal.WAL) {
 	s.log = w
 	s.primary = replica.NewPrimary(s.eng, w)
 }
 
-// SetFollower marks the server a read replica fed by f: /update returns
-// 503 (writes belong to the primary) and /readyz reports catch-up state.
-// Call before serving.
+// SetFollower marks the server a read replica fed by f: updates return
+// 503 (writes belong to the primary) and /v1/readyz reports catch-up
+// state. Call before serving.
 func (s *Server) SetFollower(f *replica.Follower) { s.follower = f }
 
 // engine returns the engine requests should serve. A follower's engine
@@ -145,7 +152,7 @@ func (s *Server) engine() *semprox.Engine {
 }
 
 // SetAutoCompact toggles background compaction after updates. Call before
-// serving; with it off, /stats keeps reporting the pending overlays until
+// serving; with it off, stats keep reporting the pending overlays until
 // the operator compacts some other way.
 func (s *Server) SetAutoCompact(on bool) { s.autoCompact = on }
 
@@ -156,38 +163,24 @@ func (s *Server) WaitCompactions() { s.compacting.Wait() }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// apiError is the structured error body of every non-2xx response.
-type apiError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
-// httpError carries a status and structured body up from helpers.
-type httpError struct {
-	status int
-	apiError
-}
-
-func (e *httpError) Error() string { return e.Message }
-
 // errBadRequest builds a 400 with code "bad_request".
-func errBadRequest(format string, args ...any) *httpError {
-	return &httpError{http.StatusBadRequest, apiError{"bad_request", fmt.Sprintf(format, args...)}}
+func errBadRequest(format string, args ...any) *api.Error {
+	return api.Errorf(http.StatusBadRequest, api.CodeBadRequest, format, args...)
 }
 
 // errNotFound builds a 404 with the given code.
-func errNotFound(code, format string, args ...any) *httpError {
-	return &httpError{http.StatusNotFound, apiError{code, fmt.Sprintf(format, args...)}}
+func errNotFound(code, format string, args ...any) *api.Error {
+	return api.Errorf(http.StatusNotFound, code, format, args...)
 }
 
 // errUnavailable builds a 503 with the given code.
-func errUnavailable(code, format string, args ...any) *httpError {
-	return &httpError{http.StatusServiceUnavailable, apiError{code, fmt.Sprintf(format, args...)}}
+func errUnavailable(code, format string, args ...any) *api.Error {
+	return api.Errorf(http.StatusServiceUnavailable, code, format, args...)
 }
 
 // errInternal builds a 500 with code "internal".
-func errInternal(format string, args ...any) *httpError {
-	return &httpError{http.StatusInternalServerError, apiError{"internal", fmt.Sprintf(format, args...)}}
+func errInternal(format string, args ...any) *api.Error {
+	return api.Errorf(http.StatusInternalServerError, api.CodeInternal, format, args...)
 }
 
 // writeJSON writes v with the given status.
@@ -199,14 +192,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
 }
 
-// writeErr writes err as a structured error response.
-func writeErr(w http.ResponseWriter, err *httpError) {
-	writeJSON(w, err.status, struct {
-		Error apiError `json:"error"`
-	}{err.apiError})
+// writeErr writes err as the structured error envelope.
+func writeErr(w http.ResponseWriter, err *api.Error) {
+	writeJSON(w, err.Status, api.ErrorEnvelope{Error: *err})
 }
 
-// methodCheck 405s anything but the allowed methods.
+// methodCheck 405s anything but the allowed methods. The message names
+// the canonical /v1 path whichever alias was hit, keeping legacy and
+// versioned responses byte-identical.
 func methodCheck(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
 	for _, m := range allowed {
 		if r.Method == m {
@@ -214,15 +207,14 @@ func methodCheck(w http.ResponseWriter, r *http.Request, allowed ...string) bool
 		}
 	}
 	w.Header().Set("Allow", strings.Join(allowed, ", "))
-	writeJSON(w, http.StatusMethodNotAllowed, struct {
-		Error apiError `json:"error"`
-	}{apiError{"method_not_allowed", fmt.Sprintf("method %s not allowed on %s", r.Method, r.URL.Path)}})
+	writeErr(w, api.Errorf(http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+		"method %s not allowed on %s", r.Method, api.CanonicalPath(r.URL.Path)))
 	return false
 }
 
 // decodeStrict decodes one JSON object, rejecting unknown fields, trailing
 // garbage and oversized bodies with client errors.
-func decodeStrict(w http.ResponseWriter, r *http.Request, v any) *httpError {
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) *api.Error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -239,7 +231,7 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any) *httpError {
 }
 
 // resolveClass 404s for classes the engine has not trained.
-func resolveClass(eng *semprox.Engine, class string) *httpError {
+func resolveClass(eng *semprox.Engine, class string) *api.Error {
 	if class == "" {
 		return errBadRequest("missing class")
 	}
@@ -248,29 +240,19 @@ func resolveClass(eng *semprox.Engine, class string) *httpError {
 			return nil
 		}
 	}
-	return errNotFound("class_not_found", "class %q not trained (have %v)", class, eng.Classes())
+	return errNotFound(api.CodeClassNotFound, "class %q not trained (have %v)", class, eng.Classes())
 }
 
 // resolveNode maps a node name to its id, 404ing unknown names.
-func resolveNode(eng *semprox.Engine, field, name string) (semprox.NodeID, *httpError) {
+func resolveNode(eng *semprox.Engine, field, name string) (semprox.NodeID, *api.Error) {
 	if name == "" {
 		return semprox.InvalidNode, errBadRequest("missing %s", field)
 	}
 	id := eng.Graph().NodeByName(name)
 	if id == semprox.InvalidNode {
-		return semprox.InvalidNode, errNotFound("node_not_found", "node %q not in graph", name)
+		return semprox.InvalidNode, errNotFound(api.CodeNodeNotFound, "node %q not in graph", name)
 	}
 	return id, nil
-}
-
-// healthResponse is the /healthz body.
-type healthResponse struct {
-	Status     string   `json:"status"`
-	Nodes      int      `json:"nodes"`
-	Edges      int      `json:"edges"`
-	Types      int      `json:"types"`
-	Metagraphs int      `json:"metagraphs"`
-	Classes    []string `json:"classes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -279,7 +261,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	eng := s.engine()
 	g := eng.Graph()
-	writeJSON(w, http.StatusOK, healthResponse{
+	writeJSON(w, http.StatusOK, api.HealthResponse{
 		Status:     "ok",
 		Nodes:      g.NumNodes(),
 		Edges:      g.NumEdges(),
@@ -293,45 +275,14 @@ func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Classes []string `json:"classes"`
-	}{s.engine().Classes()})
-}
-
-// queryRequest is the /query body: exactly one of Query (single) or
-// Queries (batch) must be set.
-type queryRequest struct {
-	Class   string   `json:"class"`
-	Query   string   `json:"query,omitempty"`
-	Queries []string `json:"queries,omitempty"`
-	K       int      `json:"k,omitempty"`
-}
-
-// rankedResult is one entry of a ranking.
-type rankedResult struct {
-	Node  int32   `json:"node"`
-	Name  string  `json:"name"`
-	Score float64 `json:"score"`
-}
-
-// queryResult is the ranking of one query.
-type queryResult struct {
-	Query   string         `json:"query"`
-	Results []rankedResult `json:"results"`
-}
-
-// batchResult is the /query response for a batched request.
-type batchResult struct {
-	Class   string        `json:"class"`
-	K       int           `json:"k"`
-	Results []queryResult `json:"results"`
+	writeJSON(w, http.StatusOK, api.ClassesResponse{Classes: s.engine().Classes()})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
-	var req queryRequest
+	var req api.QueryRequest
 	if r.Method == http.MethodGet {
 		req.Class = r.URL.Query().Get("class")
 		req.Query = r.URL.Query().Get("query")
@@ -376,7 +327,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // querySingle answers one query through the sharded scan.
-func querySingle(w http.ResponseWriter, eng *semprox.Engine, req queryRequest) {
+func querySingle(w http.ResponseWriter, eng *semprox.Engine, req api.QueryRequest) {
 	q, herr := resolveNode(eng, "query", req.Query)
 	if herr != nil {
 		writeErr(w, herr)
@@ -384,19 +335,19 @@ func querySingle(w http.ResponseWriter, eng *semprox.Engine, req queryRequest) {
 	}
 	ranked, err := eng.Query(req.Class, q, req.K)
 	if err != nil {
-		writeErr(w, errNotFound("class_not_found", "%v", err))
+		writeErr(w, errNotFound(api.CodeClassNotFound, "%v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, batchResult{
+	writeJSON(w, http.StatusOK, api.QueryResponse{
 		Class:   req.Class,
 		K:       req.K,
-		Results: []queryResult{render(eng, req.Query, ranked)},
+		Results: []api.QueryResult{render(eng, req.Query, ranked)},
 	})
 }
 
 // queryBatch resolves every query name, then answers them in one
 // QueryBatch call that fans out over the engine's workers.
-func queryBatch(w http.ResponseWriter, eng *semprox.Engine, req queryRequest) {
+func queryBatch(w http.ResponseWriter, eng *semprox.Engine, req api.QueryRequest) {
 	if len(req.Queries) > MaxBatch {
 		writeErr(w, errBadRequest("batch of %d queries exceeds limit %d", len(req.Queries), MaxBatch))
 		return
@@ -412,54 +363,24 @@ func queryBatch(w http.ResponseWriter, eng *semprox.Engine, req queryRequest) {
 	}
 	rankings, err := eng.QueryBatch(req.Class, qs, req.K)
 	if err != nil {
-		writeErr(w, errNotFound("class_not_found", "%v", err))
+		writeErr(w, errNotFound(api.CodeClassNotFound, "%v", err))
 		return
 	}
-	out := batchResult{Class: req.Class, K: req.K, Results: make([]queryResult, len(rankings))}
+	out := api.QueryResponse{Class: req.Class, K: req.K, Results: make([]api.QueryResult, len(rankings))}
 	for i, ranked := range rankings {
 		out.Results[i] = render(eng, req.Queries[i], ranked)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// render converts one engine ranking to its JSON shape.
-func render(eng *semprox.Engine, query string, ranked []semprox.Ranked) queryResult {
+// render converts one engine ranking to its wire shape.
+func render(eng *semprox.Engine, query string, ranked []semprox.Ranked) api.QueryResult {
 	g := eng.Graph()
-	out := queryResult{Query: query, Results: make([]rankedResult, len(ranked))}
+	out := api.QueryResult{Query: query, Results: make([]api.RankedResult, len(ranked))}
 	for i, r := range ranked {
-		out.Results[i] = rankedResult{Node: int32(r.Node), Name: g.Name(r.Node), Score: r.Score}
+		out.Results[i] = api.RankedResult{Node: int32(r.Node), Name: g.Name(r.Node), Score: r.Score}
 	}
 	return out
-}
-
-// updateNode is one node addition of an /update request.
-type updateNode struct {
-	Type string `json:"type"`
-	Name string `json:"name"`
-}
-
-// updateEdge is one edge addition of an /update request; endpoints are
-// node names, resolving against the request's own new nodes first and the
-// graph second.
-type updateEdge struct {
-	U string `json:"u"`
-	V string `json:"v"`
-}
-
-// updateRequest is the /update body.
-type updateRequest struct {
-	Nodes []updateNode `json:"nodes,omitempty"`
-	Edges []updateEdge `json:"edges,omitempty"`
-}
-
-// updateResponse reports what the update did.
-type updateResponse struct {
-	Epoch             uint64 `json:"epoch"`
-	LSN               uint64 `json:"lsn"`
-	NodesAdded        int    `json:"nodes_added"`
-	EdgesAdded        int    `json:"edges_added"`
-	Rematched         int    `json:"rematched"`
-	PendingCompaction int    `json:"pending_compaction"`
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -467,11 +388,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.follower != nil {
-		writeErr(w, errUnavailable("not_primary",
+		writeErr(w, errUnavailable(api.CodeNotPrimary,
 			"this replica is read-only; send updates to the primary at %s", s.follower.PrimaryURL()))
 		return
 	}
-	var req updateRequest
+	var req api.UpdateRequest
 	if herr := decodeStrict(w, r, &req); herr != nil {
 		writeErr(w, herr)
 		return
@@ -486,7 +407,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
-	eng := s.eng // never a follower here: /update was refused above
+	eng := s.eng // never a follower here: the update was refused above
 	g := eng.Graph()
 	d := semprox.Delta{Nodes: make([]semprox.DeltaNode, len(req.Nodes))}
 	fresh := make(map[string]semprox.NodeID, len(req.Nodes))
@@ -517,7 +438,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	resolve := func(field, name string) (semprox.NodeID, *httpError) {
+	resolve := func(field, name string) (semprox.NodeID, *api.Error) {
 		if name == "" {
 			return semprox.InvalidNode, errBadRequest("missing %s", field)
 		}
@@ -527,7 +448,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		if id, ok := byName[name]; ok {
 			return id, nil
 		}
-		return semprox.InvalidNode, errNotFound("node_not_found", "node %q neither in graph nor added by this update", name)
+		return semprox.InvalidNode, errNotFound(api.CodeNodeNotFound, "node %q neither in graph nor added by this update", name)
 	}
 	d.Edges = make([]semprox.Edge, len(req.Edges))
 	for i, e := range req.Edges {
@@ -564,10 +485,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			// LSN past the dead record: ApplyUpdateAt is deterministic, so
 			// replay reproduces the recorded skip and re-bootstrapping
 			// replicas land beyond it — every copy stays aligned.
-			log.Printf("server: /update logged at LSN %d but rejected by the engine (recording the skip): %v", lsn, err)
+			log.Printf("server: update logged at LSN %d but rejected by the engine (recording the skip): %v", lsn, err)
 			if serr := s.log.RecordSkip(lsn); serr != nil {
 				// RecordSkip poisons the log on failure: Append now refuses
-				// and /readyz reports wal_failed, so the operator learns
+				// and readyz reports wal_failed, so the operator learns
 				// immediately that the next boot would refuse to replay past
 				// this record, instead of at that boot.
 				log.Printf("server: recording skip of LSN %d failed, WAL poisoned (readyz now wal_failed): %v", lsn, serr)
@@ -592,7 +513,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			eng.Compact()
 		}()
 	}
-	writeJSON(w, http.StatusOK, updateResponse{
+	writeJSON(w, http.StatusOK, api.UpdateResponse{
 		Epoch:             st.Epoch,
 		LSN:               st.LSN,
 		NodesAdded:        st.NodesAdded,
@@ -602,25 +523,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statsResponse is the /stats body.
-type statsResponse struct {
-	Epoch             uint64   `json:"epoch"`
-	LSN               uint64   `json:"lsn"`
-	Nodes             int      `json:"nodes"`
-	Edges             int      `json:"edges"`
-	Types             int      `json:"types"`
-	Metagraphs        int      `json:"metagraphs"`
-	Matched           int      `json:"matched"`
-	PendingCompaction int      `json:"pending_compaction"`
-	Classes           []string `json:"classes"`
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodGet) {
 		return
 	}
 	st := s.engine().Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	writeJSON(w, http.StatusOK, api.StatsResponse{
 		Epoch:             st.Epoch,
 		LSN:               st.LSN,
 		Nodes:             st.Nodes,
@@ -633,19 +541,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// readyResponse is the /readyz body. Role is "primary" (WAL attached),
-// "follower", or "standalone" (no durability configured). A follower is
-// ready — HTTP 200 — only once it has bootstrapped, polled the primary at
-// least once, and applied everything the primary had; until then /readyz
-// is 503 so load balancers keep traffic on caught-up replicas.
-type readyResponse struct {
-	Status     string `json:"status"` // "ready", "catching_up", or "wal_failed"
-	Role       string `json:"role"`
-	LSN        uint64 `json:"lsn"`
-	PrimaryLSN uint64 `json:"primary_lsn,omitempty"`
-	Lag        uint64 `json:"lag"`
-}
-
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodGet) {
 		return
@@ -655,28 +550,29 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		// call would re-read the atomics and could disagree with the
 		// ready/LSN values reported here.
 		applied, primaryLSN, lag, ready := s.follower.Status()
-		resp := readyResponse{Status: "ready", Role: "follower", LSN: applied, PrimaryLSN: primaryLSN, Lag: lag}
+		resp := api.ReadyResponse{Status: api.StatusReady, Role: api.RoleFollower,
+			LSN: applied, PrimaryLSN: primaryLSN, Lag: lag}
 		status := http.StatusOK
 		if !ready {
-			resp.Status = "catching_up"
+			resp.Status = api.StatusCatchingUp
 			status = http.StatusServiceUnavailable
 		}
 		writeJSON(w, status, resp)
 		return
 	}
-	role := "standalone"
+	role := api.RoleStandalone
 	if s.log != nil {
-		role = "primary"
+		role = api.RolePrimary
 		// A primary whose log has sticky-failed (disk full, I/O error) can
 		// accept no more writes until restart; readiness is how load
 		// balancers find that out.
 		if err := s.log.Err(); err != nil {
 			writeJSON(w, http.StatusServiceUnavailable,
-				readyResponse{Status: "wal_failed", Role: role, LSN: s.eng.LSN()})
+				api.ReadyResponse{Status: api.StatusWALFailed, Role: role, LSN: s.eng.LSN()})
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, readyResponse{Status: "ready", Role: role, LSN: s.eng.LSN()})
+	writeJSON(w, http.StatusOK, api.ReadyResponse{Status: api.StatusReady, Role: role, LSN: s.eng.LSN()})
 }
 
 func (s *Server) handleReplicateSince(w http.ResponseWriter, r *http.Request) {
@@ -684,17 +580,17 @@ func (s *Server) handleReplicateSince(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.primary == nil {
-		writeErr(w, errUnavailable("replication_disabled",
+		writeErr(w, errUnavailable(api.CodeReplicationDisabled,
 			"no write-ahead log attached (start with -wal to serve followers)"))
 		return
 	}
 	status, body, err := s.primary.ServeSince(r)
 	if err != nil {
-		code := "bad_request"
+		code := api.CodeBadRequest
 		if status >= 500 {
-			code = "internal"
+			code = api.CodeInternal
 		}
-		writeErr(w, &httpError{status, apiError{code, err.Error()}})
+		writeErr(w, api.Errorf(status, code, "%s", err.Error()))
 		return
 	}
 	writeJSON(w, status, body)
@@ -705,7 +601,7 @@ func (s *Server) handleReplicateSnapshot(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	if s.primary == nil {
-		writeErr(w, errUnavailable("replication_disabled",
+		writeErr(w, errUnavailable(api.CodeReplicationDisabled,
 			"no write-ahead log attached (start with -wal to serve followers)"))
 		return
 	}
@@ -717,18 +613,11 @@ func (s *Server) handleReplicateSnapshot(w http.ResponseWriter, r *http.Request)
 	}
 }
 
-// proximityRequest is the /proximity body.
-type proximityRequest struct {
-	Class string `json:"class"`
-	X     string `json:"x"`
-	Y     string `json:"y"`
-}
-
 func (s *Server) handleProximity(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
-	var req proximityRequest
+	var req api.ProximityRequest
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
 		req.Class, req.X, req.Y = q.Get("class"), q.Get("x"), q.Get("y")
@@ -753,13 +642,8 @@ func (s *Server) handleProximity(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := eng.Proximity(req.Class, x, y)
 	if err != nil {
-		writeErr(w, errNotFound("class_not_found", "%v", err))
+		writeErr(w, errNotFound(api.CodeClassNotFound, "%v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Class     string  `json:"class"`
-		X         string  `json:"x"`
-		Y         string  `json:"y"`
-		Proximity float64 `json:"proximity"`
-	}{req.Class, req.X, req.Y, p})
+	writeJSON(w, http.StatusOK, api.ProximityResponse{Class: req.Class, X: req.X, Y: req.Y, Proximity: p})
 }

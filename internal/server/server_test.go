@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	semprox "repro"
+	"repro/api"
 	"repro/internal/fixtures"
 	"repro/internal/mining"
 )
@@ -84,7 +85,7 @@ func TestHealthz(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
-	var body healthResponse
+	var body api.HealthResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestQuerySingleMatchesEngine(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Fatalf("status = %d (%s)", rec.Code, rec.Body.String())
 		}
-		var body batchResult
+		var body api.QueryResponse
 		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 			t.Fatal(err)
 		}
@@ -159,12 +160,12 @@ func TestQueryBatchMatchesEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req, _ := json.Marshal(queryRequest{Class: "classmate", Queries: names, K: 3})
+	req, _ := json.Marshal(api.QueryRequest{Class: "classmate", Queries: names, K: 3})
 	rec := do(t, s, http.MethodPost, "/query", string(req))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d (%s)", rec.Code, rec.Body.String())
 	}
-	var body batchResult
+	var body api.QueryResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestQueryClientErrors(t *testing.T) {
 
 func TestQueryBatchTooLarge(t *testing.T) {
 	s, _, _ := trainedServer(t)
-	big := queryRequest{Class: "classmate", Queries: make([]string, MaxBatch+1)}
+	big := api.QueryRequest{Class: "classmate", Queries: make([]string, MaxBatch+1)}
 	for i := range big.Queries {
 		big.Queries[i] = "Kate"
 	}
@@ -340,12 +341,12 @@ func TestSnapshotServesIdentically(t *testing.T) {
 }
 
 // decodeUpdate parses an /update 200 body.
-func decodeUpdate(t *testing.T, rec *httptest.ResponseRecorder) updateResponse {
+func decodeUpdate(t *testing.T, rec *httptest.ResponseRecorder) api.UpdateResponse {
 	t.Helper()
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d (%s)", rec.Code, rec.Body.String())
 	}
-	var out updateResponse
+	var out api.UpdateResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestUpdateAddsAndServes(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("query after update: %d (%s)", rec.Code, rec.Body.String())
 	}
-	var res batchResult
+	var res api.QueryResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +411,7 @@ func TestUpdateValidation(t *testing.T) {
 	sb.WriteString(`]}`)
 	wantErr(t, do(t, s, http.MethodPost, "/update", sb.String()), http.StatusBadRequest, "bad_request")
 	// Nothing above may have advanced the epoch.
-	var st statsResponse
+	var st api.StatsResponse
 	if err := json.Unmarshal(do(t, s, http.MethodGet, "/stats", "").Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +427,7 @@ func TestStats(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("stats: %d", rec.Code)
 	}
-	var st statsResponse
+	var st api.StatsResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
-# Replication smoke test: build semproxd, run a durable primary (-wal) and
-# a follower (-follow) on loopback, push live updates through the
-# primary's durable write path, wait for the follower to catch up
-# (/readyz flips to 200), and assert both processes serve byte-identical
-# /query output and agree on the LSN. Exercises for real what the unit
-# tests prove in-process: snapshot bootstrap, WAL streaming, epoch-applied
-# deltas, lag reporting.
+# Replication smoke test: build semproxd + semproxctl, run a durable
+# primary (-wal) and a follower (-follow) on loopback, push live updates
+# through the primary's durable write path, wait for the follower to
+# catch up (/v1/readyz flips to 200), and assert both processes serve
+# byte-identical /v1/query output and agree on the LSN. All protocol
+# traffic goes through semproxctl — the typed client package — so the
+# smoke exercises the same wire contract (api) in-process consumers use.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,28 +34,31 @@ wait_http() { # url [tries]
 
 echo "== build"
 go build -o "$tmp/semproxd" ./cmd/semproxd
+go build -o "$tmp/semproxctl" ./cmd/semproxctl
+ctl() { "$tmp/semproxctl" "$@"; }
 
 echo "== start durable primary on $PRIMARY"
 "$tmp/semproxd" -addr "$PRIMARY" -dataset linkedin -users 200 -classes college \
     -wal "$tmp/wal" >"$tmp/primary.log" 2>&1 &
 primary_pid=$!
-wait_http "http://$PRIMARY/healthz" || { cat "$tmp/primary.log" >&2; exit 1; }
+wait_http "http://$PRIMARY/v1/healthz" || { cat "$tmp/primary.log" >&2; exit 1; }
 
 echo "== start follower on $FOLLOWER"
 "$tmp/semproxd" -addr "$FOLLOWER" -follow "http://$PRIMARY" >"$tmp/follower.log" 2>&1 &
 follower_pid=$!
-wait_http "http://$FOLLOWER/healthz" || { cat "$tmp/follower.log" >&2; exit 1; }
+wait_http "http://$FOLLOWER/v1/healthz" || { cat "$tmp/follower.log" >&2; exit 1; }
 
-echo "== push live updates through the primary"
+echo "== push live updates through the primary (typed client write path)"
 for i in 1 2 3; do
-    curl -fsS -d '{"nodes":[{"type":"user","name":"smoke-'"$i"'"}],"edges":[{"u":"smoke-'"$i"'","v":"user-1"},{"u":"smoke-'"$i"'","v":"user-2"}]}' \
-        "http://$PRIMARY/update" >/dev/null
+    ctl -primary "http://$PRIMARY" \
+        -update '{"nodes":[{"type":"user","name":"smoke-'"$i"'"}],"edges":[{"u":"smoke-'"$i"'","v":"user-1"},{"u":"smoke-'"$i"'","v":"user-2"}]}' \
+        >/dev/null
 done
 
 echo "== wait for the follower to catch up (readyz 200 AND lsn 3)"
-wait_http "http://$FOLLOWER/readyz" 120 || {
-    echo "follower /readyz:" >&2
-    curl -sS "http://$FOLLOWER/readyz" >&2 || true
+wait_http "http://$FOLLOWER/v1/readyz" 120 || {
+    echo "follower /v1/readyz:" >&2
+    curl -sS "http://$FOLLOWER/v1/readyz" >&2 || true
     cat "$tmp/follower.log" >&2
     exit 1
 }
@@ -63,7 +66,7 @@ wait_http "http://$FOLLOWER/readyz" 120 || {
 # still in flight; wait until the follower has actually applied LSN 3.
 caught_up=""
 for _ in $(seq 1 150); do
-    if [ "$(curl -fsS "http://$FOLLOWER/stats" | jq .lsn)" = 3 ]; then
+    if [ "$(ctl -primary "http://$FOLLOWER" -stats | jq .lsn)" = 3 ]; then
         caught_up=1
         break
     fi
@@ -71,34 +74,50 @@ for _ in $(seq 1 150); do
 done
 [ -n "$caught_up" ] || {
     echo "FAIL: follower never reached LSN 3" >&2
-    curl -sS "http://$FOLLOWER/stats" >&2 || true
+    ctl -primary "http://$FOLLOWER" -stats >&2 || true
     cat "$tmp/follower.log" >&2
     exit 1
 }
 
-echo "== compare answers byte for byte"
+echo "== compare answers byte for byte (typed client against both replicas)"
 for q in user-1 user-7 smoke-2; do
-    curl -fsS "http://$PRIMARY/query?class=college&query=$q&k=10" >"$tmp/primary.q.json"
-    curl -fsS "http://$FOLLOWER/query?class=college&query=$q&k=10" >"$tmp/follower.q.json"
+    ctl -primary "http://$PRIMARY" -class college -query "$q" -k 10 >"$tmp/primary.q.json"
+    ctl -primary "http://$FOLLOWER" -class college -query "$q" -k 10 >"$tmp/follower.q.json"
     cmp -s "$tmp/primary.q.json" "$tmp/follower.q.json" || {
-        echo "FAIL: /query for $q diverged between primary and follower" >&2
+        echo "FAIL: query for $q diverged between primary and follower" >&2
         diff "$tmp/primary.q.json" "$tmp/follower.q.json" >&2 || true
         exit 1
     }
 done
 
-p_lsn=$(curl -fsS "http://$PRIMARY/stats" | jq .lsn)
-f_lsn=$(curl -fsS "http://$FOLLOWER/stats" | jq .lsn)
-lag=$(curl -fsS "http://$FOLLOWER/readyz" | jq .lag)
+echo "== legacy aliases answer byte-identically to /v1"
+for path in "query?class=college&query=user-1&k=10" stats healthz; do
+    curl -fsS "http://$PRIMARY/v1/$path" >"$tmp/v1.json"
+    curl -fsS "http://$PRIMARY/$path" >"$tmp/legacy.json"
+    cmp -s "$tmp/v1.json" "$tmp/legacy.json" || {
+        echo "FAIL: legacy /$path diverged from /v1/$path" >&2
+        diff "$tmp/v1.json" "$tmp/legacy.json" >&2 || true
+        exit 1
+    }
+done
+
+p_lsn=$(ctl -primary "http://$PRIMARY" -stats | jq .lsn)
+f_lsn=$(ctl -primary "http://$FOLLOWER" -stats | jq .lsn)
+lag=$(curl -fsS "http://$FOLLOWER/v1/readyz" | jq .lag)
 if [ "$p_lsn" != "$f_lsn" ] || [ "$p_lsn" != 3 ] || [ "$lag" != 0 ]; then
     echo "FAIL: lsn primary=$p_lsn follower=$f_lsn lag=$lag (want 3/3/0)" >&2
     exit 1
 fi
 
-code=$(curl -s -o /dev/null -w '%{http_code}' -d '{"nodes":[{"type":"user","name":"x"}]}' "http://$FOLLOWER/update")
-if [ "$code" != 503 ]; then
-    echo "FAIL: follower accepted /update (HTTP $code, want 503)" >&2
+echo "== a follower must refuse writes (not_primary)"
+if ctl -primary "http://$FOLLOWER" -update '{"nodes":[{"type":"user","name":"x"}]}' >/dev/null 2>"$tmp/deny.err"; then
+    echo "FAIL: follower accepted an update" >&2
     exit 1
 fi
+grep -q not_primary "$tmp/deny.err" || {
+    echo "FAIL: follower denial lacked the not_primary code:" >&2
+    cat "$tmp/deny.err" >&2
+    exit 1
+}
 
 echo "OK: follower caught up at LSN $f_lsn with lag 0 and byte-identical answers"

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Routing smoke test: build semproxd + semproxctl, run a durable primary
+# and a follower on loopback, push live updates through the routed write
+# path (semproxctl -update pins to the primary), wait for the follower to
+# catch up, then drive routed reads through the replica-aware client —
+# every repetition must be byte-identical whichever replica serves it.
+# Finally KILL THE PRIMARY and prove read traffic keeps flowing through
+# the caught-up follower with zero failed requests — the client-side
+# failover the PR's routing layer exists for.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRIMARY=127.0.0.1:18093
+FOLLOWER=127.0.0.1:18094
+tmp=$(mktemp -d)
+primary_pid=""
+follower_pid=""
+cleanup() {
+    [ -n "$follower_pid" ] && kill "$follower_pid" 2>/dev/null || true
+    [ -n "$primary_pid" ] && kill "$primary_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+wait_http() { # url [tries]
+    local url=$1 tries=${2:-240}
+    for _ in $(seq 1 "$tries"); do
+        curl -fsS "$url" >/dev/null 2>&1 && return 0
+        sleep 0.5
+    done
+    echo "FAIL: timeout waiting for $url" >&2
+    return 1
+}
+
+echo "== build"
+go build -o "$tmp/semproxd" ./cmd/semproxd
+go build -o "$tmp/semproxctl" ./cmd/semproxctl
+
+echo "== start durable primary on $PRIMARY"
+"$tmp/semproxd" -addr "$PRIMARY" -dataset linkedin -users 200 -classes college \
+    -wal "$tmp/wal" >"$tmp/primary.log" 2>&1 &
+primary_pid=$!
+wait_http "http://$PRIMARY/v1/healthz" || { cat "$tmp/primary.log" >&2; exit 1; }
+
+echo "== start follower on $FOLLOWER"
+"$tmp/semproxd" -addr "$FOLLOWER" -follow "http://$PRIMARY" >"$tmp/follower.log" 2>&1 &
+follower_pid=$!
+wait_http "http://$FOLLOWER/v1/healthz" || { cat "$tmp/follower.log" >&2; exit 1; }
+
+echo "== push live updates through the routed write path (pins to the primary)"
+for i in 1 2 3; do
+    "$tmp/semproxctl" -primary "http://$PRIMARY" -followers "http://$FOLLOWER" \
+        -update '{"nodes":[{"type":"user","name":"routed-'"$i"'"}],"edges":[{"u":"routed-'"$i"'","v":"user-1"}]}' \
+        >/dev/null
+done
+
+echo "== wait until every replica reports ready at LSN 3"
+ok=""
+for _ in $(seq 1 240); do
+    if "$tmp/semproxctl" -primary "http://$PRIMARY" -followers "http://$FOLLOWER" -ready >"$tmp/ready.json" 2>/dev/null \
+        && [ "$(jq -r '.[1].state.lsn' "$tmp/ready.json")" = 3 ]; then
+        ok=1
+        break
+    fi
+    sleep 0.25
+done
+[ -n "$ok" ] || {
+    echo "FAIL: replicas never all became ready at LSN 3" >&2
+    cat "$tmp/ready.json" >&2 || true
+    cat "$tmp/follower.log" >&2
+    exit 1
+}
+
+echo "== routed reads: 40 repetitions must be byte-identical across replicas"
+"$tmp/semproxctl" -primary "http://$PRIMARY" -followers "http://$FOLLOWER" \
+    -class college -query routed-2 -k 5 -n 40 -counts >"$tmp/routed.json" 2>"$tmp/routed.err"
+grep -q "1/1 followers in rotation" "$tmp/routed.err" || {
+    echo "FAIL: follower never entered rotation" >&2
+    cat "$tmp/routed.err" >&2
+    exit 1
+}
+
+echo "== the routed answer matches the follower's direct answer byte-for-byte"
+curl -fsS "http://$FOLLOWER/v1/query" -d '{"class":"college","query":"routed-2","k":5}' >"$tmp/direct.json"
+# Both are the same api.QueryResponse rendered with two-space indent.
+if ! diff <(jq -S . "$tmp/routed.json") <(jq -S . "$tmp/direct.json") >&2; then
+    echo "FAIL: routed response diverged from the follower's direct response" >&2
+    exit 1
+fi
+
+echo "== kill the primary; routed reads must keep serving through the follower"
+kill -9 "$primary_pid"
+wait "$primary_pid" 2>/dev/null || true
+primary_pid=""
+"$tmp/semproxctl" -primary "http://$PRIMARY" -followers "http://$FOLLOWER" \
+    -class college -query routed-2 -k 5 -n 20 >"$tmp/failover.json" 2>/dev/null || {
+    echo "FAIL: routed reads failed after primary death" >&2
+    cat "$tmp/follower.log" >&2
+    exit 1
+}
+if ! diff <(jq -S . "$tmp/failover.json") <(jq -S . "$tmp/routed.json") >&2; then
+    echo "FAIL: post-failover answers diverged from pre-failover answers" >&2
+    exit 1
+fi
+
+echo "== updates must now fail loudly (no primary owns writes)"
+if "$tmp/semproxctl" -primary "http://$PRIMARY" \
+    -update '{"nodes":[{"type":"user","name":"orphan"}]}' >/dev/null 2>&1; then
+    echo "FAIL: update succeeded with a dead primary" >&2
+    exit 1
+fi
+
+echo "OK: routed reads spread, stayed byte-identical, and survived primary death with zero failures"

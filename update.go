@@ -70,7 +70,7 @@ type UpdateStats struct {
 // (typically from a background goroutine, as cmd/semproxd does) to fold
 // them into flat storage.
 func (e *Engine) ApplyUpdate(d Delta) (UpdateStats, error) {
-	return e.applyUpdate(d, 0)
+	return e.applyUpdate(d, 0, 1)
 }
 
 // ApplyUpdateAt is ApplyUpdate with an explicit log sequence number: the
@@ -85,7 +85,33 @@ func (e *Engine) ApplyUpdateAt(d Delta, lsn uint64) (UpdateStats, error) {
 	if lsn == 0 {
 		return UpdateStats{}, fmt.Errorf("semprox: ApplyUpdateAt: LSN must be positive")
 	}
-	return e.applyUpdate(d, lsn)
+	return e.applyUpdate(d, lsn, 1)
+}
+
+// ApplyUpdateBatchAt applies d as the coalescing of `records` contiguous
+// log records ending at lsn (i.e. records lsn-records+1 .. lsn), in one
+// epoch swap. Because deltas are additive and new-node ids are assigned
+// deterministically (n, n+1, ... off the graph the delta lands on),
+// contiguous logged deltas coalesce by plain concatenation: the merged
+// delta assigns every node the same id and adds the same edge set as
+// applying the records one at a time would. The epoch counter advances
+// by `records` — one per coalesced record — so the resulting engine is
+// byte-identical (graph, indices, classes, epoch, LSN, snapshot bytes)
+// to the one-at-a-time engine after compaction; this is what lets a
+// catching-up follower drain a replication batch through a single apply
+// without its serving state diverging from the primary's
+// (property-tested by TestApplyUpdateBatchMatchesOneAtATime).
+//
+// The whole range must lie beyond the engine's current LSN; on error the
+// engine is unchanged.
+func (e *Engine) ApplyUpdateBatchAt(d Delta, lsn uint64, records int) (UpdateStats, error) {
+	if records < 1 {
+		return UpdateStats{}, fmt.Errorf("semprox: ApplyUpdateBatchAt: records must be >= 1, got %d", records)
+	}
+	if lsn < uint64(records) {
+		return UpdateStats{}, fmt.Errorf("semprox: ApplyUpdateBatchAt: %d records cannot end at LSN %d", records, lsn)
+	}
+	return e.applyUpdate(d, lsn, records)
 }
 
 // AdvanceLSN records that the durable log positions through lsn are
@@ -108,21 +134,29 @@ func (e *Engine) AdvanceLSN(lsn uint64) {
 	e.publish(&epoch{g: ep.g, metaIx: ep.metaIx, classes: ep.classes, version: ep.version, lsn: lsn})
 }
 
-// applyUpdate builds and publishes the next epoch; lsn == 0 means "no
+// applyUpdate builds and publishes the next epoch covering `records`
+// coalesced log records (1 for a plain update); lsn == 0 means "no
 // WAL": advance the epoch's LSN by one so the counter still tracks update
 // count.
-func (e *Engine) applyUpdate(d Delta, lsn uint64) (UpdateStats, error) {
+func (e *Engine) applyUpdate(d Delta, lsn uint64, records int) (UpdateStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ep := e.cur.Load()
 	if lsn == 0 {
 		lsn = ep.lsn + 1
-	} else if lsn <= ep.lsn {
-		return UpdateStats{}, fmt.Errorf("semprox: ApplyUpdateAt: LSN %d not beyond engine LSN %d", lsn, ep.lsn)
+	} else if lsn-uint64(records)+1 <= ep.lsn {
+		return UpdateStats{}, fmt.Errorf("semprox: records %d..%d not beyond engine LSN %d",
+			lsn-uint64(records)+1, lsn, ep.lsn)
 	}
 	ng, touched, err := ep.g.Apply(d)
 	if err != nil {
 		return UpdateStats{}, err
+	}
+	if records > 1 {
+		// One Apply bumped the graph version once; a coalesced batch must
+		// advance it once per record it covers, so the epoch counter stays
+		// in lockstep with a replica that applied them one at a time.
+		ng = ng.WithVersion(ep.g.Version() + uint64(records))
 	}
 	st := UpdateStats{
 		Epoch:      ng.Version(),

@@ -377,3 +377,100 @@ func TestQueryBatchEdgeCases(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyUpdateBatchMatchesOneAtATime is the coalesced-apply property
+// behind the follower's batched catch-up: a contiguous run of logged
+// deltas applied as ONE ApplyUpdateBatchAt call (concatenated delta,
+// epoch advanced once per covered record) must leave the engine
+// byte-identical — snapshot bytes, epoch, LSN, every query at every
+// worker count — to applying the records one ApplyUpdateAt at a time.
+func TestApplyUpdateBatchMatchesOneAtATime(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		base, g := toyEngine(t)
+		base.Train("classmate", classmateExamples(g))
+		var seed bytes.Buffer
+		if err := base.Save(&seed); err != nil {
+			t.Fatal(err)
+		}
+		oneAtATime, err := LoadEngine(bytes.NewReader(seed.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		coalesced, err := LoadEngine(bytes.NewReader(seed.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// A random record stream, chunked at random points: each chunk is
+		// applied record-by-record on one engine and as a single coalesced
+		// batch on the other.
+		lsn := uint64(0)
+		for chunk := 0; chunk < 3; chunk++ {
+			records := 1 + rng.Intn(4)
+			var merged Delta
+			nodes := oneAtATime.Graph().NumNodes()
+			for r := 0; r < records; r++ {
+				d := randomToyDelta(rng, nodes, fmt.Sprintf("b%d-c%d-r%d", trial, chunk, r))
+				lsn++
+				if _, err := oneAtATime.ApplyUpdateAt(d, lsn); err != nil {
+					t.Fatal(err)
+				}
+				merged.Nodes = append(merged.Nodes, d.Nodes...)
+				merged.Edges = append(merged.Edges, d.Edges...)
+				nodes += len(d.Nodes)
+			}
+			if _, err := coalesced.ApplyUpdateBatchAt(merged, lsn, records); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if coalesced.Epoch() != oneAtATime.Epoch() || coalesced.LSN() != oneAtATime.LSN() {
+			t.Fatalf("coalesced at epoch %d LSN %d, one-at-a-time at epoch %d LSN %d",
+				coalesced.Epoch(), coalesced.LSN(), oneAtATime.Epoch(), oneAtATime.LSN())
+		}
+		assertEngineEquivalent(t, coalesced, oneAtATime, fmt.Sprintf("trial %d (patched)", trial))
+		oneAtATime.Compact()
+		coalesced.Compact()
+		var a, b bytes.Buffer
+		if err := oneAtATime.Save(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := coalesced.Save(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("trial %d: coalesced snapshot differs from one-at-a-time snapshot", trial)
+		}
+	}
+}
+
+// TestApplyUpdateBatchValidation pins the argument contract: a batch
+// must cover at least one record, the whole covered range must lie
+// beyond the engine's LSN, and a failed batch leaves the engine
+// unchanged.
+func TestApplyUpdateBatchValidation(t *testing.T) {
+	eng, g := toyEngine(t)
+	eng.Train("classmate", classmateExamples(g))
+	d := Delta{Nodes: []DeltaNode{{Type: "user", Value: "bv-1"}}}
+	if _, err := eng.ApplyUpdateBatchAt(d, 1, 0); err == nil {
+		t.Fatal("records=0 accepted")
+	}
+	if _, err := eng.ApplyUpdateBatchAt(d, 1, 2); err == nil {
+		t.Fatal("2 records ending at LSN 1 accepted")
+	}
+	if _, err := eng.ApplyUpdateBatchAt(d, 2, 2); err != nil {
+		t.Fatalf("records 1..2: %v", err)
+	}
+	if eng.LSN() != 2 || eng.Epoch() != 2 {
+		t.Fatalf("LSN %d epoch %d, want 2/2", eng.LSN(), eng.Epoch())
+	}
+	// Range overlapping the applied prefix: records 2..3 collide with the
+	// engine's LSN 2.
+	if _, err := eng.ApplyUpdateBatchAt(d, 3, 2); err == nil {
+		t.Fatal("overlapping batch accepted")
+	}
+	if eng.LSN() != 2 || eng.Epoch() != 2 {
+		t.Fatalf("failed batch mutated the engine: LSN %d epoch %d", eng.LSN(), eng.Epoch())
+	}
+}
