@@ -8,14 +8,16 @@
 #              append/replay cycle, and an in-process routed-serving
 #              cycle (1 primary + 2 followers, routed == direct), a
 #              two-process replication smoke (primary + follower on
-#              loopback), and a routing smoke (routed client failover
-#              across a primary kill).
+#              loopback), a routing smoke (routed client failover
+#              across a primary kill), and a failover smoke (kill -9 the
+#              primary under a live write stream: promotion, no lost
+#              acked writes, zombie fencing).
 GO ?= go
 COVER_FLOOR ?= 80
 
-.PHONY: ci lint vet build test cover bench-smoke bench replication-smoke routing-smoke
+.PHONY: ci lint vet build test cover bench-smoke bench replication-smoke routing-smoke failover-smoke
 
-ci: lint build test cover bench-smoke replication-smoke routing-smoke
+ci: lint build test cover bench-smoke replication-smoke routing-smoke failover-smoke
 
 # gofmt must be a no-op and vet must be clean; staticcheck runs too when
 # the host has it installed (the CI image and the dev container may not).
@@ -58,7 +60,7 @@ cover:
 # primary answers — all without touching the committed BENCH_*.json
 # files. Exits non-zero on any drift.
 bench-smoke:
-	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out - -online-out - -update-out - -wal-out - -routing-out -
+	$(GO) run ./cmd/bench -reps 1 -workers 1,4 -out - -online-out - -update-out - -wal-out - -routing-out - -failover-out -
 
 # Two-process replication smoke: durable primary + follower on loopback,
 # live updates pushed through the typed client (semproxctl), follower
@@ -74,8 +76,16 @@ replication-smoke:
 routing-smoke:
 	bash scripts/routing_smoke.sh
 
+# Failover smoke: kill -9 a synchronous primary under a live routed
+# write stream; a follower must win the promotion election and resume
+# acking the same writer, every acked write must be on the promoted
+# primary, and the revived zombie must be fenced — its stream refused,
+# its synchronous acks never released (see scripts/failover_smoke.sh).
+failover-smoke:
+	bash scripts/failover_smoke.sh
+
 # Full benchmark; rewrites BENCH_offline.json, BENCH_online.json,
-# BENCH_update.json, BENCH_wal.json and BENCH_routing.json (commit them
-# to extend the perf trajectory).
+# BENCH_update.json, BENCH_wal.json, BENCH_routing.json and
+# BENCH_failover.json (commit them to extend the perf trajectory).
 bench:
 	$(GO) run ./cmd/bench

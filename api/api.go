@@ -104,6 +104,11 @@ const (
 	// CodeReplicationDisabled: a /replicate endpoint on a server with no
 	// write-ahead log attached (HTTP 503).
 	CodeReplicationDisabled = "replication_disabled"
+	// CodeTermMismatch: a replication poll whose term query parameter
+	// disagrees with the serving log's record at that LSN (HTTP 409) —
+	// the poller's history diverged (it holds records a promotion
+	// overwrote) and must re-bootstrap, not stream.
+	CodeTermMismatch = "term_mismatch"
 	// CodeInternal: a server-side failure (HTTP 5xx).
 	CodeInternal = "internal"
 )
@@ -252,18 +257,28 @@ const (
 	StatusReady      = "ready"
 	StatusCatchingUp = "catching_up"
 	StatusWALFailed  = "wal_failed"
+	// StatusFenced: a follower that observed records from a term older
+	// than one it has already applied — it is polling a zombie primary
+	// (one that lost its authority to a promotion) and refuses to apply
+	// anything from it. Unlike catching_up this does not clear with
+	// time; it clears when the follower reaches a current-term primary.
+	StatusFenced = "fenced"
 )
 
 // ReadyResponse is the PathReadyz body. Unlike errors it travels on both
-// 200 (ready) and 503 (catching up, or a primary whose WAL sticky-failed)
-// so load balancers and the client Router read lag without a second
-// request.
+// 200 (ready) and 503 (catching up, fenced, or a primary whose WAL
+// sticky-failed) so load balancers and the client Router read lag
+// without a second request. Term is the node's promotion epoch — the
+// term its log writes under (primary) or the newest term it has
+// observed (follower); the Router trusts the highest-term backend
+// claiming RolePrimary as the one true primary.
 type ReadyResponse struct {
 	Status     string `json:"status"`
 	Role       string `json:"role"`
 	LSN        uint64 `json:"lsn"`
 	PrimaryLSN uint64 `json:"primary_lsn,omitempty"`
 	Lag        uint64 `json:"lag"`
+	Term       uint64 `json:"term,omitempty"`
 }
 
 // Ready reports whether the response announces a caught-up, serving
@@ -272,18 +287,23 @@ func (r ReadyResponse) Ready() bool { return r.Status == StatusReady }
 
 // ReplicateRecord is one logged delta on the wire; Delta is the WAL's
 // binary encoding (graph.EncodeDelta), which encoding/json carries as
-// base64.
+// base64. Term is the promotion epoch the record was written under
+// (absent = 1, the term of every record logged before terms existed).
 type ReplicateRecord struct {
 	LSN   uint64 `json:"lsn"`
+	Term  uint64 `json:"term,omitempty"`
 	Delta []byte `json:"delta"`
 }
 
 // SinceResponse is the PathReplicateSince body: records with LSN > From
 // in log order, plus the primary's durable LSN at read time so followers
 // measure their lag. An empty Records with LastLSN == From means caught
-// up.
+// up. Term is the serving log's CURRENT term (absent = 1): a follower
+// that has observed a newer term anywhere refuses this response — the
+// server is a zombie, fenced off by a promotion it has not noticed yet.
 type SinceResponse struct {
 	From    uint64            `json:"from"`
 	LastLSN uint64            `json:"last_lsn"`
+	Term    uint64            `json:"term,omitempty"`
 	Records []ReplicateRecord `json:"records"`
 }

@@ -16,14 +16,40 @@ import (
 // readiness.
 const DefaultProbeInterval = 500 * time.Millisecond
 
+// Event types reported through Router.OnEvent.
+const (
+	// EventAdmit: a follower (re-)entered the read rotation.
+	EventAdmit = "admit"
+	// EventEject: a follower left the read rotation (failed read, failed
+	// probe, lag, fencing, or a stale term).
+	EventEject = "eject"
+	// EventPrimaryChange: the router resolved a different backend as the
+	// primary — a promotion happened (or the old primary came back).
+	EventPrimaryChange = "primary_change"
+)
+
+// Event is one routing transition, delivered to OnEvent.
+type Event struct {
+	Type   string // EventAdmit, EventEject, EventPrimaryChange
+	URL    string // the backend the event is about
+	Term   uint64 // the backend's term at the observation (0 if unknown)
+	Reason string // human-readable cause
+}
+
 // Router is the replica-aware serving strategy over one primary and N
-// follower base URLs. It polls /v1/readyz to maintain the live set of
-// caught-up followers, spreads reads (Query, QueryBatch, Proximity)
-// round-robin across that set with failover — a follower that errors is
-// ejected from rotation on the spot and the request moves to the next
-// live follower, then to the primary — and pins writes (Update) plus
-// authoritative reads (Stats) to the primary. An ejected or lagging
-// follower re-enters rotation at the next successful readiness probe.
+// follower base URLs. It polls /v1/readyz on EVERY backend to maintain
+// (a) the live set of caught-up followers and (b) which backend is the
+// current primary: each probe trusts the highest-term backend reporting
+// the primary role, so when a follower is promoted after the configured
+// primary dies, writes re-route to it without restarting the router.
+// Reads (Query, QueryBatch, Proximity) spread round-robin across the
+// live followers with failover — a follower that errors is ejected from
+// rotation on the spot and the request moves to the next live follower,
+// then to the resolved primary — and writes (Update) plus authoritative
+// reads (Stats) pin to the resolved primary. An ejected or lagging
+// follower re-enters rotation at the next successful readiness probe; a
+// follower reporting a term older than the newest seen stays out (it is
+// still following a deposed primary).
 //
 // With zero followers (or none caught up) every request goes to the
 // primary, so a Router over a single server degrades to a plain Client.
@@ -32,15 +58,23 @@ const DefaultProbeInterval = 500 * time.Millisecond
 // probing, or call Probe directly for deterministic control (tests,
 // benchmarks, one-shot tools).
 type Router struct {
-	primary   *Client
-	followers []*Client
+	clients []*Client // [0] = configured primary, [1+i] = followers[i]
 
 	// ProbeInterval is the pause between Run's readiness sweeps.
 	ProbeInterval time.Duration
 
-	mu   sync.RWMutex
-	live []bool   // live[i]: followers[i] is caught up and in rotation
-	gen  []uint64 // gen[i]: bumped by each eject of followers[i]; lets a
+	// OnEvent, when set (before Run/Probe), observes routing transitions:
+	// follower admissions/ejections and primary changes. Called
+	// synchronously from Probe and the read failover path without any
+	// router lock held; keep it fast and do not call back into the
+	// router from it.
+	OnEvent func(Event)
+
+	mu      sync.RWMutex
+	cur     int      // index into clients of the resolved primary
+	maxTerm uint64   // newest term observed on any backend
+	live    []bool   // live[i]: followers[i] is caught up and in rotation
+	gen     []uint64 // gen[i]: bumped by each eject of followers[i]; lets a
 	// probe detect an ejection that happened after its readiness sample
 	// was taken, so a stale "ready" never resurrects a just-dead replica
 
@@ -58,7 +92,6 @@ func NewRouter(primaryURL string, followerURLs []string, hc *http.Client) *Route
 		hc = &http.Client{Timeout: DefaultTimeout}
 	}
 	r := &Router{
-		primary:       New(primaryURL, hc),
 		ProbeInterval: DefaultProbeInterval,
 		live:          make([]bool, len(followerURLs)),
 		gen:           make([]uint64, len(followerURLs)),
@@ -67,24 +100,30 @@ func NewRouter(primaryURL string, followerURLs []string, hc *http.Client) *Route
 	// Per-backend retries are disabled: the router IS the retry policy.
 	// A failed read fails over to the next replica immediately instead of
 	// hammering the same dead one through the backoff loop.
-	r.primary.Retries = 0
-	for _, u := range followerURLs {
+	for _, u := range append([]string{primaryURL}, followerURLs...) {
 		c := New(u, hc)
 		c.Retries = 0
-		r.followers = append(r.followers, c)
+		r.clients = append(r.clients, c)
 	}
 	return r
 }
 
-// Primary returns the primary's client (writes, authoritative reads).
-func (r *Router) Primary() *Client { return r.primary }
+// Primary returns the client of the CURRENT resolved primary (writes,
+// authoritative reads) — the configured one until a probe observes a
+// promotion.
+func (r *Router) Primary() *Client {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.clients[r.cur]
+}
 
 // Followers returns the follower clients in rotation order.
-func (r *Router) Followers() []*Client { return r.followers }
+func (r *Router) Followers() []*Client { return r.clients[1:] }
 
-// Run probes every follower's readiness each ProbeInterval until ctx
-// ends, keeping the live set fresh: lagging or dead followers leave
-// rotation, caught-up ones (re-)enter. Returns ctx.Err().
+// Run probes every backend's readiness each ProbeInterval until ctx
+// ends, keeping the live set and the resolved primary fresh: lagging or
+// dead followers leave rotation, caught-up ones (re-)enter, and a
+// promoted follower takes over the write role. Returns ctx.Err().
 func (r *Router) Run(ctx context.Context) error {
 	for {
 		r.Probe(ctx)
@@ -96,36 +135,88 @@ func (r *Router) Run(ctx context.Context) error {
 	}
 }
 
-// Probe polls /v1/readyz on every follower concurrently and installs the
-// resulting live set, returning how many followers are in rotation. A
-// follower is live when the probe succeeds and reports StatusReady
-// (bootstrapped, polled, zero lag) — unless a read ejected it while this
-// probe's sample was in flight: that ejection is newer information than
-// the sample, so the follower stays out until the NEXT sweep re-observes
-// it (a stale "ready" must not resurrect a replica that just died).
-func (r *Router) Probe(ctx context.Context) int {
-	if len(r.followers) == 0 {
-		return 0
+// normTerm maps the wire encoding (0 = pre-term server) to term 1.
+func normTerm(t uint64) uint64 {
+	if t == 0 {
+		return 1
 	}
+	return t
+}
+
+// Probe polls /v1/readyz on every backend concurrently, resolves the
+// primary, and installs the resulting live set, returning how many
+// followers are in rotation. A follower is live when its probe succeeds
+// and reports StatusReady at the newest observed term — a ready
+// follower at an OLDER term is still tracking a deposed primary and
+// would serve a forked history. A backend reporting the primary role is
+// trusted as THE primary if its term is the highest among such claims;
+// absent any claim (the primary just died, nobody promoted yet) the
+// previous resolution stands, so in-flight writes keep a target.
+// A follower stays out of rotation if a read ejected it while this
+// probe's sample was in flight: that ejection is newer information than
+// the sample (a stale "ready" must not resurrect a replica that just
+// died).
+func (r *Router) Probe(ctx context.Context) int {
 	r.mu.RLock()
 	before := append([]uint64(nil), r.gen...)
 	r.mu.RUnlock()
-	fresh := make([]bool, len(r.followers))
+	type sample struct {
+		resp api.ReadyResponse
+		err  error
+	}
+	samples := make([]sample, len(r.clients))
 	var wg sync.WaitGroup
-	for i, f := range r.followers {
+	for i, c := range r.clients {
 		wg.Add(1)
-		go func(i int, f *Client) {
+		go func(i int, c *Client) {
 			defer wg.Done()
-			ready, err := f.Ready(ctx)
-			fresh[i] = err == nil && ready.Ready()
-		}(i, f)
+			samples[i].resp, samples[i].err = c.Ready(ctx)
+		}(i, c)
 	}
 	wg.Wait()
+
+	var events []Event
 	n := 0
 	r.mu.Lock()
-	for i, ok := range fresh {
+	for _, s := range samples {
+		if s.err == nil && normTerm(s.resp.Term) > r.maxTerm {
+			r.maxTerm = normTerm(s.resp.Term)
+		}
+	}
+	// Resolve the primary: highest-term backend claiming the role and
+	// able to take writes (a wal_failed primary claims the role but
+	// can't).
+	best, bestTerm := -1, uint64(0)
+	for i, s := range samples {
+		if s.err != nil || s.resp.Role != api.RolePrimary || !s.resp.Ready() {
+			continue
+		}
+		if t := normTerm(s.resp.Term); best < 0 || t > bestTerm {
+			best, bestTerm = i, t
+		}
+	}
+	if best >= 0 && best != r.cur {
+		r.cur = best
+		events = append(events, Event{
+			Type: EventPrimaryChange, URL: r.clients[best].BaseURL(), Term: bestTerm,
+			Reason: fmt.Sprintf("backend reports primary role at term %d", bestTerm),
+		})
+	}
+	for i := range r.live {
+		s := samples[1+i]
+		ok := s.err == nil && s.resp.Ready() && s.resp.Role == api.RoleFollower &&
+			normTerm(s.resp.Term) >= r.maxTerm
 		if r.gen[i] != before[i] {
 			ok = false // ejected mid-sweep; this sample predates the death
+		}
+		if ok != r.live[i] {
+			ev := Event{URL: r.clients[1+i].BaseURL(), Term: normTerm(s.resp.Term)}
+			if ok {
+				ev.Type, ev.Reason = EventAdmit, "probe reports ready at current term"
+			} else {
+				ev.Type, ev.Reason = EventEject, ejectReason(s.err, s.resp, r.maxTerm)
+			}
+			events = append(events, ev)
 		}
 		r.live[i] = ok
 		if ok {
@@ -133,7 +224,31 @@ func (r *Router) Probe(ctx context.Context) int {
 		}
 	}
 	r.mu.Unlock()
+	r.emit(events)
 	return n
+}
+
+// ejectReason names why a probe sample takes a follower out of rotation.
+func ejectReason(err error, resp api.ReadyResponse, maxTerm uint64) string {
+	switch {
+	case err != nil:
+		return fmt.Sprintf("probe failed: %v", err)
+	case resp.Role != api.RoleFollower:
+		return fmt.Sprintf("role is %s", resp.Role)
+	case normTerm(resp.Term) < maxTerm:
+		return fmt.Sprintf("stale term %d (newest is %d)", normTerm(resp.Term), maxTerm)
+	default:
+		return fmt.Sprintf("status %s (lag %d)", resp.Status, resp.Lag)
+	}
+}
+
+func (r *Router) emit(events []Event) {
+	if r.OnEvent == nil {
+		return
+	}
+	for _, ev := range events {
+		r.OnEvent(ev)
+	}
 }
 
 // Live returns the indices of the followers currently in rotation.
@@ -151,21 +266,24 @@ func (r *Router) Live() []int {
 
 // eject drops follower i from rotation until a probe whose readiness
 // sample postdates this call re-admits it.
-func (r *Router) eject(i int) {
+func (r *Router) eject(i int, cause error) {
 	r.mu.Lock()
 	r.live[i] = false
 	r.gen[i]++
 	r.mu.Unlock()
+	r.emit([]Event{{
+		Type: EventEject, URL: r.clients[1+i].BaseURL(),
+		Reason: fmt.Sprintf("read failed: %v", cause),
+	}})
 }
 
 // Counts reports how many reads each backend has served, keyed by base
 // URL — the primary included. Useful for verifying spread in tests,
 // benchmarks and smoke scripts.
 func (r *Router) Counts() map[string]uint64 {
-	out := make(map[string]uint64, 1+len(r.followers))
-	out[r.primary.BaseURL()] = r.served[0].Load()
-	for i, f := range r.followers {
-		out[f.BaseURL()] += r.served[1+i].Load()
+	out := make(map[string]uint64, len(r.clients))
+	for i, c := range r.clients {
+		out[c.BaseURL()] += r.served[i].Load()
 	}
 	return out
 }
@@ -213,21 +331,51 @@ func (r *Router) Proximity(ctx context.Context, class, x, y string) (api.Proximi
 	return out, err
 }
 
-// Update pins to the primary — the one replica that owns writes.
+// Update pins to the resolved primary. If the attempt fails in a way
+// that proves the write did NOT happen — the backend is unreachable, or
+// it answered 503 not_primary (it is a follower; followers refuse
+// before applying) — the router re-probes, and if that resolves a
+// DIFFERENT primary (a promotion it hadn't noticed), retries exactly
+// once there. Ambiguous failures (a 5xx from a backend that may have
+// applied the update) are never retried: an update is not idempotent.
 func (r *Router) Update(ctx context.Context, req api.UpdateRequest) (api.UpdateResponse, error) {
-	return r.primary.Update(ctx, req)
+	c := r.Primary()
+	out, err := c.Update(ctx, req)
+	if err == nil || !writeSurelyFailed(err) || ctx.Err() != nil {
+		return out, err
+	}
+	r.Probe(ctx)
+	if c2 := r.Primary(); c2 != c {
+		return c2.Update(ctx, req)
+	}
+	return out, err
 }
 
-// Stats pins to the primary: per-replica stats differ by catch-up state,
-// and callers of a router want the authoritative position. Use
-// Followers()[i].Stats for a specific replica.
+// writeSurelyFailed reports whether an Update error proves the update
+// was not applied anywhere — the only condition under which retrying it
+// elsewhere cannot double-apply.
+func writeSurelyFailed(err error) bool {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		return apiErr.Code == api.CodeNotPrimary
+	}
+	// Transport-level failure: the request never got a response. A
+	// connection refused / reset before the response proves nothing was
+	// acked; the pre-response failure modes where the server DID apply
+	// (it crashed mid-handling) also killed that server's unacked state.
+	return true
+}
+
+// Stats pins to the resolved primary: per-replica stats differ by
+// catch-up state, and callers of a router want the authoritative
+// position. Use Followers()[i].Stats for a specific replica.
 func (r *Router) Stats(ctx context.Context) (api.StatsResponse, error) {
-	return r.primary.Stats(ctx)
+	return r.Primary().Stats(ctx)
 }
 
 // read runs one read against the rotation: each live follower once,
-// starting at the round-robin cursor, then the primary as the final
-// fallback. A follower failing with a 5xx or a transport error is
+// starting at the round-robin cursor, then the resolved primary as the
+// final fallback. A follower failing with a 5xx or a transport error is
 // ejected from rotation immediately (the next probe re-admits it once
 // caught up); a 4xx — the request itself is wrong — returns straight to
 // the caller, because every replica would refuse it identically.
@@ -241,7 +389,7 @@ func (r *Router) read(ctx context.Context, call func(*Client) error) error {
 		start := int((r.rr.Add(1) - 1) % uint64(len(idx)))
 		for a := 0; a < len(idx); a++ {
 			i := idx[(start+a)%len(idx)]
-			err := call(r.followers[i])
+			err := call(r.clients[1+i])
 			if err == nil {
 				r.served[1+i].Add(1)
 				return nil
@@ -250,16 +398,19 @@ func (r *Router) read(ctx context.Context, call func(*Client) error) error {
 				return err
 			}
 			lastErr = err
-			r.eject(i)
+			r.eject(i, err)
 		}
 	}
-	if err := call(r.primary); err != nil {
+	r.mu.RLock()
+	cur := r.cur
+	r.mu.RUnlock()
+	if err := call(r.clients[cur]); err != nil {
 		if lastErr != nil && failedOver(err) {
 			return fmt.Errorf("%w (followers also failed: %v)", err, lastErr)
 		}
 		return err
 	}
-	r.served[0].Add(1)
+	r.served[cur].Add(1)
 	return nil
 }
 

@@ -253,7 +253,7 @@ func waitReady(t testing.TB, f *replica.Follower) {
 	t.Helper()
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		if _, _, _, ready := f.Status(); ready {
+		if f.Status().Ready {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)

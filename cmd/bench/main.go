@@ -13,14 +13,19 @@
 //     patched index is cross-checked byte-for-byte against the scratch
 //     build before timings are reported.
 //   - wal (BENCH_wal.json): the durable write path — fsynced group-commit
-//     appends across writer counts, cross-checked by replaying the log
-//     (every record must come back, contiguous and byte-identical) and by
-//     a reopen that must recover the same tail.
+//     appends across writer counts, in both the blocking (Append) and
+//     pipelined (AppendAsync + WaitDurable) modes, cross-checked by
+//     replaying the log (every record must come back, contiguous and
+//     byte-identical) and by a reopen that must recover the same tail.
 //   - routing (BENCH_routing.json): the routed-serving cycle — one durable
 //     primary plus two real followers in-process, live updates streamed
 //     through the WAL, a replica-aware client Router spreading reads —
 //     cross-checked element-for-element against direct primary answers
 //     before routed vs direct QPS is reported.
+//   - failover (BENCH_failover.json): the failover cycle — synchronous
+//     primary, two durable followers with promotion monitors, primary
+//     killed under a routed writer — reporting time-to-restore-writes,
+//     with every pre-kill acked write verified on the promoted primary.
 //
 // Any failure — a drifted index, a drifted ranking, a lost WAL record, an
 // unwritable output — exits non-zero without touching the output files
@@ -32,7 +37,7 @@
 //	go run ./cmd/bench [-users 200] [-reps 3] [-workers 1,2,4,8] [-k 10]
 //	                   [-out BENCH_offline.json] [-online-out BENCH_online.json]
 //	                   [-update-out BENCH_update.json] [-wal-out BENCH_wal.json]
-//	                   [-routing-out BENCH_routing.json]
+//	                   [-routing-out BENCH_routing.json] [-failover-out BENCH_failover.json]
 package main
 
 import (
@@ -117,6 +122,7 @@ func runBench() error {
 	updateOut := flag.String("update-out", "BENCH_update.json", "live-update output path ('-' for stdout only)")
 	walOut := flag.String("wal-out", "BENCH_wal.json", "WAL append output path ('-' for stdout only)")
 	routingOut := flag.String("routing-out", "BENCH_routing.json", "routed-serving output path ('-' for stdout only)")
+	failoverOut := flag.String("failover-out", "BENCH_failover.json", "failover-cycle output path ('-' for stdout only)")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersFlag)
@@ -153,6 +159,10 @@ func runBench() error {
 	if err != nil {
 		return err
 	}
+	failover, err := benchFailover(*reps)
+	if err != nil {
+		return err
+	}
 	if err := emit(*out, offline); err != nil {
 		return err
 	}
@@ -165,7 +175,10 @@ func runBench() error {
 	if err := emit(*walOut, walRep); err != nil {
 		return err
 	}
-	return emit(*routingOut, routing)
+	if err := emit(*routingOut, routing); err != nil {
+		return err
+	}
+	return emit(*failoverOut, failover)
 }
 
 // parseWorkers parses the -workers list, prepending the serial baseline
@@ -361,7 +374,6 @@ type updateReport struct {
 // walReport is the BENCH_wal.json shape.
 type walReport struct {
 	Benchmark   string    `json:"benchmark"`
-	Records     int       `json:"records_per_run"`
 	RecordBytes int       `json:"record_bytes"`
 	GoMaxProcs  int       `json:"gomaxprocs"`
 	Reps        int       `json:"reps"`
@@ -369,9 +381,18 @@ type walReport struct {
 	Runs        []walRun  `json:"runs"`
 }
 
-// walRun is one writer-count row of the WAL bench.
+// walRun is one (mode, writer-count) row of the WAL bench. Mode
+// "blocking" is Append: every call returns only after its group's fsync,
+// so per-writer latency is bounded below by the disk's sync time. Mode
+// "pipelined" is AppendAsync with one WaitDurable barrier per writer:
+// the stream keeps appending while the syncer fsyncs the previous batch,
+// so one fsync amortizes over everything enqueued behind it. Durability
+// is identical — in both modes nothing is acknowledged before its
+// record's fsync completes; pipelining only moves WHERE the caller waits.
 type walRun struct {
+	Mode          string  `json:"mode"`
 	Writers       int     `json:"writers"`
+	Records       int     `json:"records"`
 	BestNs        int64   `json:"best_ns"`
 	NsPerAppend   int64   `json:"ns_per_append"`
 	AppendsPerSec float64 `json:"appends_per_sec"`
@@ -440,60 +461,87 @@ func benchWAL(counts []int, reps int) (*walReport, error) {
 
 	rep := &walReport{
 		Benchmark:   "wal_append",
-		Records:     records,
 		RecordBytes: len(graph.EncodeDelta(mkDelta(0))),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Reps:        reps,
 		Timestamp:   time.Now().UTC(),
 	}
-	for _, writers := range counts {
-		best := time.Duration(0)
-		for r := 0; r < reps; r++ {
-			runDir, err := os.MkdirTemp("", "bench-wal-run-*")
-			if err != nil {
-				return nil, err
-			}
-			wr, err := wal.Open(runDir, wal.Options{})
-			if err != nil {
-				os.RemoveAll(runDir)
-				return nil, err
-			}
-			var wg sync.WaitGroup
-			var failed atomic.Bool
-			t0 := time.Now()
-			for g := 0; g < writers; g++ {
-				wg.Add(1)
-				go func(g int) {
-					defer wg.Done()
-					for i := g; i < records; i += writers {
-						if _, err := wr.Append(mkDelta(i)); err != nil {
-							failed.Store(true)
+	for _, mode := range []string{"blocking", "pipelined"} {
+		// The pipelined stream needs enough records for multiple sync
+		// batches to overlap; the blocking mode pays one sync wait per
+		// append, so 128 already dominates the timer.
+		n := records
+		if mode == "pipelined" {
+			n = 4096
+		}
+		for _, writers := range counts {
+			best := time.Duration(0)
+			for r := 0; r < reps; r++ {
+				runDir, err := os.MkdirTemp("", "bench-wal-run-*")
+				if err != nil {
+					return nil, err
+				}
+				wr, err := wal.Open(runDir, wal.Options{})
+				if err != nil {
+					os.RemoveAll(runDir)
+					return nil, err
+				}
+				var wg sync.WaitGroup
+				var failed atomic.Bool
+				t0 := time.Now()
+				for g := 0; g < writers; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						if mode == "blocking" {
+							for i := g; i < n; i += writers {
+								if _, err := wr.Append(mkDelta(i)); err != nil {
+									failed.Store(true)
+									return
+								}
+							}
 							return
 						}
-					}
-				}(g)
+						var last uint64
+						for i := g; i < n; i += writers {
+							lsn, err := wr.AppendAsync(mkDelta(i))
+							if err != nil {
+								failed.Store(true)
+								return
+							}
+							last = lsn
+						}
+						// The ack barrier: nothing in this writer's stream
+						// counts until its newest record is fsynced.
+						if err := wr.WaitDurable(last); err != nil {
+							failed.Store(true)
+						}
+					}(g)
+				}
+				wg.Wait()
+				d := time.Since(t0)
+				durable := wr.DurableLSN()
+				wr.Close()
+				os.RemoveAll(runDir)
+				if failed.Load() || durable != uint64(n) {
+					return nil, fmt.Errorf("wal: %s writers=%d lost records (durable %d, want %d)", mode, writers, durable, n)
+				}
+				if best == 0 || d < best {
+					best = d
+				}
 			}
-			wg.Wait()
-			d := time.Since(t0)
-			durable := wr.DurableLSN()
-			wr.Close()
-			os.RemoveAll(runDir)
-			if failed.Load() || durable != records {
-				return nil, fmt.Errorf("wal: writers=%d lost records (durable %d, want %d)", writers, durable, records)
+			run := walRun{
+				Mode:          mode,
+				Writers:       writers,
+				Records:       n,
+				BestNs:        best.Nanoseconds(),
+				NsPerAppend:   best.Nanoseconds() / int64(n),
+				AppendsPerSec: float64(n) / best.Seconds(),
 			}
-			if best == 0 || d < best {
-				best = d
-			}
+			rep.Runs = append(rep.Runs, run)
+			fmt.Printf("wal     mode=%-9s writers=%-3d best=%8.2fms appends/s=%9.0f\n",
+				mode, writers, float64(best.Nanoseconds())/1e6, run.AppendsPerSec)
 		}
-		run := walRun{
-			Writers:       writers,
-			BestNs:        best.Nanoseconds(),
-			NsPerAppend:   best.Nanoseconds() / records,
-			AppendsPerSec: records / best.Seconds(),
-		}
-		rep.Runs = append(rep.Runs, run)
-		fmt.Printf("wal     writers=%-3d best=%8.2fms appends/s=%9.0f\n",
-			writers, float64(best.Nanoseconds())/1e6, run.AppendsPerSec)
 	}
 	return rep, nil
 }

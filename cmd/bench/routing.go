@@ -123,7 +123,7 @@ func benchRouting(reps, k int) (*routingReport, error) {
 	for {
 		ready := 0
 		for _, f := range followers {
-			if _, _, _, ok := f.Status(); ok {
+			if f.Status().Ready {
 				ready++
 			}
 		}

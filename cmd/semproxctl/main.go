@@ -60,7 +60,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the primary's /v1/stats")
 		ready     = flag.Bool("ready", false, "print readiness of the primary and every follower; non-zero exit if any is not ready")
 		timeout   = flag.Duration("timeout", 30*time.Second, "overall command timeout")
-		counts    = flag.Bool("counts", false, "after the reads, print per-backend served counts to stderr")
+		counts    = flag.Bool("counts", false, "print per-backend served counts after the reads, and routing transitions (admit/eject/primary change) as they happen, to stderr")
 	)
 	flag.Parse()
 	if err := run(*primary, *followers, *class, *query, *proxX, *proxY,
@@ -102,6 +102,12 @@ func run(primary, followers, class, query, proxX, proxY, update string,
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	router := client.NewRouter(primary, followerURLs, nil)
+	if counts {
+		router.OnEvent = func(ev client.Event) {
+			fmt.Fprintf(os.Stderr, "semproxctl: routing %s %s (term %d): %s\n",
+				ev.Type, ev.URL, ev.Term, ev.Reason)
+		}
+	}
 	if len(followerURLs) > 0 && (query != "" || proxX != "") {
 		live := router.Probe(ctx)
 		fmt.Fprintf(os.Stderr, "semproxctl: %d/%d followers in rotation\n", live, len(followerURLs))

@@ -73,6 +73,10 @@ func main() {
 		save       = flag.String("save", "", "write the trained engine snapshot here before serving")
 		walDir     = flag.String("wal", "", "write-ahead log directory: fsync every /update before applying it, replay the log tail on boot, serve /replicate to followers")
 		follow     = flag.String("follow", "", "run as a read replica of the primary at this base URL (e.g. http://host:8080); offline flags are ignored")
+		stateDir   = flag.String("state", "", "follower-local state directory (snapshot + WAL): replicated records fsync here before applying, restarts resume from local state instead of re-bootstrapping, and promotion (-peers) serves writes from this log")
+		peers      = flag.String("peers", "", "comma-separated base URLs of the other replication nodes: the follower monitors its primary and runs a promotion election when it dies (requires -state and -advertise)")
+		advertise  = flag.String("advertise", "", "this node's own base URL as peers reach it (the identity used in promotion elections)")
+		ackQuorum  = flag.Int("ack-replicas", 0, "if >0, hold each /update ack until a follower confirms durably applying it (synchronous replication: acked writes survive losing the primary)")
 		dsName     = flag.String("dataset", "linkedin", "built-in dataset: linkedin or facebook (ignored with -snapshot)")
 		users      = flag.Int("users", 400, "user count for built-in datasets (ignored with -snapshot)")
 		classes    = flag.String("classes", "", "comma-separated classes to train (default: all dataset classes; ignored with -snapshot)")
@@ -92,10 +96,18 @@ func main() {
 	var shutdown func()
 	var err error
 	if *follow != "" {
-		handler, shutdown, err = buildFollower(ctx, *follow, *workers, *walDir, *save)
+		handler, shutdown, err = buildFollower(ctx, *follow, *workers, *walDir, *save,
+			*stateDir, *peers, *advertise, *ackQuorum)
 	} else {
 		handler, shutdown, err = buildPrimary(*snapshot, *save, *walDir, *dsName, *users,
 			*classes, *candidates, *nExamples, *maxNodes, *minSupport, *workers, *seed)
+		if err == nil && *ackQuorum > 0 {
+			if *walDir == "" {
+				err = fmt.Errorf("-ack-replicas needs -wal (synchronous replication rides the log)")
+			} else {
+				handler.SetAckReplicas(*ackQuorum)
+			}
+		}
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -117,33 +129,105 @@ func main() {
 	shutdown()
 }
 
-// buildFollower bootstraps a read replica from the primary's snapshot
-// endpoint and starts the streaming loop.
-func buildFollower(ctx context.Context, primaryURL string, workers int, walDir, save string) (*server.Server, func(), error) {
+// buildFollower boots a read replica — from its local state directory
+// when one exists (restart without re-downloading), else from the
+// primary's snapshot endpoint — and starts the streaming loop. With
+// -peers and -advertise it also starts the promotion monitor: when the
+// primary goes dark and this node wins the election, the follower's
+// local log is sealed under a raised term and the server flips to
+// serving writes on it.
+func buildFollower(ctx context.Context, primaryURL string, workers int, walDir, save,
+	stateDir, peersCSV, advertise string, ackQuorum int) (*server.Server, func(), error) {
 	if err := replica.ValidPrimaryURL(primaryURL); err != nil {
 		return nil, nil, err
 	}
 	if walDir != "" || save != "" {
-		return nil, nil, fmt.Errorf("-wal and -save apply to primaries; a follower's durable state is the primary's (re-bootstrap on restart)")
+		return nil, nil, fmt.Errorf("-wal and -save apply to primaries; a follower's durable state lives in -state")
+	}
+	var peers []string
+	if peersCSV != "" {
+		if stateDir == "" || advertise == "" {
+			return nil, nil, fmt.Errorf("-peers needs -state (promotion serves writes from the local log) and -advertise (the election identity)")
+		}
+		if err := replica.ValidPrimaryURL(advertise); err != nil {
+			return nil, nil, fmt.Errorf("-advertise: %w", err)
+		}
+		for _, p := range strings.Split(peersCSV, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
 	}
 	f := replica.NewFollower(primaryURL, nil)
 	f.Workers = workers
+	f.Dir = stateDir
 	start := time.Now()
-	if err := f.Bootstrap(ctx); err != nil {
-		return nil, nil, err
+	restored, err := f.Restore()
+	if err != nil {
+		// Local state that fails to restore is abandoned, not fatal: a
+		// fresh bootstrap overwrites it and the node still joins.
+		log.Printf("restore from %s failed (%v); bootstrapping fresh", stateDir, err)
 	}
-	eng := f.Engine()
-	log.Printf("bootstrapped from %s in %.2fs: %d nodes, %d metagraphs, classes %v, LSN %d",
-		primaryURL, time.Since(start).Seconds(), eng.Graph().NumNodes(),
-		eng.NumMetagraphs(), eng.Classes(), eng.LSN())
+	if restored {
+		eng := f.Engine()
+		log.Printf("restored from %s in %.2fs: %d nodes, LSN %d, term %d",
+			stateDir, time.Since(start).Seconds(), eng.Graph().NumNodes(), eng.LSN(), f.Status().Term)
+	} else {
+		if err := f.Bootstrap(ctx); err != nil {
+			return nil, nil, err
+		}
+		eng := f.Engine()
+		log.Printf("bootstrapped from %s in %.2fs: %d nodes, %d metagraphs, classes %v, LSN %d",
+			primaryURL, time.Since(start).Seconds(), eng.Graph().NumNodes(),
+			eng.NumMetagraphs(), eng.Classes(), eng.LSN())
+	}
+	runCtx, stopRun := context.WithCancel(ctx)
+	runDone := make(chan struct{})
 	go func() {
-		if err := f.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		defer close(runDone)
+		if err := f.Run(runCtx); err != nil && !errors.Is(err, context.Canceled) {
 			log.Printf("replication stopped: %v", err)
 		}
 	}()
-	handler := server.New(eng)
+	handler := server.New(f.Engine())
 	handler.SetFollower(f)
-	return handler, func() {}, nil
+	if len(peers) > 0 {
+		go func() {
+			m := &replica.Monitor{F: f, Self: advertise, Peers: peers}
+			if err := m.Run(ctx); err != nil {
+				return // shutdown
+			}
+			log.Printf("primary %s unreachable and this node won the election; promoting", f.PrimaryURL())
+			stopRun()
+			<-runDone
+			w, err := f.Promote()
+			if err != nil {
+				log.Printf("PROMOTION FAILED: %v (still serving reads from the last applied state)", err)
+				return
+			}
+			// The local log can end ahead of the engine (a batch fsynced
+			// but not yet applied when Run stopped); replay closes the gap
+			// before writes are accepted.
+			if _, _, err := semprox.ReplayWAL(f.Engine(), w); err != nil {
+				log.Printf("PROMOTION FAILED replaying the local log tail: %v", err)
+				return
+			}
+			if err := handler.Promote(w); err != nil {
+				log.Printf("PROMOTION FAILED: %v", err)
+				return
+			}
+			if ackQuorum > 0 {
+				handler.SetAckReplicas(ackQuorum)
+			}
+			log.Printf("promoted: accepting writes at term %d from LSN %d", w.Term(), w.NextLSN()-1)
+		}()
+	}
+	return handler, func() {
+		stopRun()
+		if err := f.Close(); err != nil {
+			log.Printf("follower close: %v", err)
+		}
+	}, nil
 }
 
 // buildPrimary loads or trains an engine, replays the WAL tail over it

@@ -1,0 +1,136 @@
+// Package faultfs is the fault-injection layer behind the WAL's
+// durability claims: a scheduler of I/O failures (failed fsyncs, failed
+// or torn writes, failed segment creation) that the WAL consults at
+// every syscall boundary when wal.Options.Inject is set. Production
+// builds pass no injector and pay one nil check; tests arm rules like
+// "fail the 3rd fsync" or "tear the next write after 10 bytes" and then
+// assert the log's externally visible promises — an acked append is on
+// disk after reopen, a failed one is never acked — instead of hoping a
+// real disk misbehaves on schedule.
+package faultfs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Op names one interceptable I/O operation.
+type Op string
+
+const (
+	// OpWrite is a data write to the active segment.
+	OpWrite Op = "write"
+	// OpSync is an fsync of the active segment.
+	OpSync Op = "sync"
+	// OpCreate is the creation (incl. header write+sync) of a segment.
+	OpCreate Op = "create"
+)
+
+// Rule arms one injection: after skipping the first After matching
+// calls, the next Times calls (1 if zero) fail with Err. For OpWrite a
+// non-zero TearBytes makes the failure a torn write: the first TearBytes
+// bytes of the batch reach the file before the error — the shape a
+// crash mid-write leaves on disk.
+type Rule struct {
+	Op        Op
+	After     int
+	Times     int
+	Err       error
+	TearBytes int
+}
+
+type armedRule struct {
+	Rule
+	fired int
+}
+
+// Injector schedules injected failures. The zero value injects nothing;
+// a nil *Injector is safe to call and also injects nothing, so callers
+// hook it unconditionally.
+type Injector struct {
+	mu    sync.Mutex
+	rules []*armedRule
+	calls map[Op]int
+}
+
+// New returns an empty injector.
+func New() *Injector { return &Injector{calls: make(map[Op]int)} }
+
+// Arm adds a rule. Rules are independent: each matching call consults
+// every armed rule and the first one due fires.
+func (in *Injector) Arm(r Rule) {
+	if r.Err == nil {
+		r.Err = fmt.Errorf("faultfs: injected %s failure", r.Op)
+	}
+	if r.Times <= 0 {
+		r.Times = 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &armedRule{Rule: r})
+}
+
+// Calls reports how many times op was checked.
+func (in *Injector) Calls(op Op) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[op]
+}
+
+// due finds the first armed rule that should fire for this call of op
+// (seen = the op's call count before this call).
+func (in *Injector) due(op Op, seen int) *armedRule {
+	for _, r := range in.rules {
+		if r.Op != op || r.fired >= r.Times {
+			continue
+		}
+		if seen < r.After {
+			continue
+		}
+		r.fired++
+		return r
+	}
+	return nil
+}
+
+// Check consults the schedule for one call of op, returning the injected
+// error if a rule is due.
+func (in *Injector) Check(op Op) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	seen := in.calls[op]
+	in.calls[op] = seen + 1
+	if r := in.due(op, seen); r != nil {
+		return r.Err
+	}
+	return nil
+}
+
+// CheckWrite consults the schedule for one OpWrite of n bytes. It
+// returns how many bytes the caller should actually hand to the file
+// (n when no rule fires; TearBytes — capped at n — for a torn write;
+// 0 for a clean failure) and the injected error, if any.
+func (in *Injector) CheckWrite(n int) (int, error) {
+	if in == nil {
+		return n, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	seen := in.calls[OpWrite]
+	in.calls[OpWrite] = seen + 1
+	r := in.due(OpWrite, seen)
+	if r == nil {
+		return n, nil
+	}
+	tear := r.TearBytes
+	if tear > n {
+		tear = n
+	}
+	return tear, r.Err
+}

@@ -4,14 +4,21 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	semprox "repro"
+	"repro/api"
 	"repro/client"
+	"repro/internal/atomicfile"
 	"repro/internal/graph"
+	"repro/internal/wal"
 )
 
 // Follower keeps a local engine converged with a primary: Bootstrap
@@ -30,9 +37,23 @@ import (
 // graph clones, index patches, class re-merges — of catch-up from one
 // per record to one per poll while keeping the engine byte-identical to
 // a record-at-a-time replica.
+//
+// With Dir set the follower is also durable and promotable: every batch
+// is fsynced into a follower-local WAL BEFORE it is applied, the
+// bootstrap snapshot is persisted next to it, Restore rebuilds the
+// engine from that local state without touching the primary, and
+// Promote seals the local log under a raised term so a Server can start
+// accepting writes on it — the failover path when the primary dies.
+//
+// Terms fence zombies. Every poll carries the term of the follower's
+// newest applied record; a primary holding a different record there
+// answers 409 (histories diverged → re-bootstrap). Every since response
+// carries the serving log's current term; a response from a term OLDER
+// than the newest this follower has seen means the server lost its
+// authority to a promotion it has not noticed — the follower refuses to
+// apply and reports StatusFenced until it reaches a current-term
+// primary (Retarget points it at one).
 type Follower struct {
-	c *client.Client
-
 	// Workers retunes the bootstrapped engine for this host (the snapshot
 	// carries the primary's setting); <= 0 keeps one worker per CPU.
 	Workers int
@@ -42,11 +63,28 @@ type Follower struct {
 	MaxBatch int
 	// Backoff is the pause after a failed poll before retrying.
 	Backoff time.Duration
+	// Dir, when non-empty, is the follower's local state directory: the
+	// bootstrap snapshot persists to Dir/engine.snap and replicated
+	// records fsync into Dir/wal before they apply. Set it before
+	// Restore/Bootstrap/Run; empty keeps the follower memory-only (no
+	// Restore, no Promote).
+	Dir string
 
-	eng     atomic.Pointer[semprox.Engine]
-	applied atomic.Uint64 // LSN of the last record applied locally
-	target  atomic.Uint64 // primary durable LSN as of the last poll
-	polled  atomic.Bool   // at least one successful poll completed
+	hc  *http.Client
+	cmu sync.Mutex // guards c (Retarget swaps it mid-Run)
+	c   *client.Client
+
+	eng      atomic.Pointer[semprox.Engine]
+	applied  atomic.Uint64 // LSN of the last record applied locally
+	target   atomic.Uint64 // primary durable LSN as of the last poll
+	polled   atomic.Bool   // at least one successful poll completed
+	appTerm  atomic.Uint64 // term of the last record applied locally
+	seenTerm atomic.Uint64 // newest term observed anywhere (responses, records)
+	fenced   atomic.Bool   // last poll hit a zombie (stale-term) primary
+
+	wmu      sync.Mutex // guards log and promoted
+	log      *wal.WAL   // follower-local durable log (nil when Dir == "")
+	promoted bool       // Promote handed the log to a server; Close must not close it
 }
 
 // NewFollower returns a follower of the primary at baseURL. Call
@@ -60,48 +98,227 @@ func NewFollower(baseURL string, hc *http.Client) *Follower {
 	if hc == nil {
 		hc = &http.Client{}
 	}
-	c := client.New(baseURL, hc)
-	// The follower is its own retry policy (Backoff between polls);
-	// client-level retries would just delay the lag signal.
-	c.Retries = 0
-	return &Follower{
-		c:        c,
+	f := &Follower{
+		hc:       hc,
 		PollWait: 10 * time.Second,
 		MaxBatch: DefaultMaxBatch,
 		Backoff:  500 * time.Millisecond,
 	}
+	f.setClient(baseURL)
+	return f
 }
+
+func (f *Follower) setClient(baseURL string) {
+	c := client.New(baseURL, f.hc)
+	// The follower is its own retry policy (Backoff between polls);
+	// client-level retries would just delay the lag signal.
+	c.Retries = 0
+	f.cmu.Lock()
+	f.c = c
+	f.cmu.Unlock()
+}
+
+func (f *Follower) client() *client.Client {
+	f.cmu.Lock()
+	defer f.cmu.Unlock()
+	return f.c
+}
+
+// Retarget points the follower at a different primary; the next poll
+// goes there. Safe to call while Run is polling — the monitor calls it
+// when it discovers that a peer (not this node) won a promotion.
+func (f *Follower) Retarget(baseURL string) { f.setClient(baseURL) }
 
 // Engine returns the local serving engine (nil before Bootstrap).
 func (f *Follower) Engine() *semprox.Engine { return f.eng.Load() }
 
+// snapPath and walDir name the two halves of the local state directory.
+func (f *Follower) snapPath() string { return filepath.Join(f.Dir, "engine.snap") }
+func (f *Follower) walDir() string   { return filepath.Join(f.Dir, "wal") }
+
+// Restore rebuilds the follower from its local state directory — the
+// persisted bootstrap snapshot plus the follower-local WAL — without
+// touching the primary. It returns (false, nil) when Dir is unset or
+// holds no snapshot (call Bootstrap), and (true, nil) when the follower
+// is ready to Run from exactly where it crashed: the replayed engine is
+// byte-identical to one that had applied the same records live, because
+// replay drives the same ApplyUpdateAt path the live stream does.
+func (f *Follower) Restore() (bool, error) {
+	if f.Dir == "" {
+		return false, nil
+	}
+	snap, err := os.Open(f.snapPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("replica: restore: %w", err)
+	}
+	eng, lerr := semprox.LoadEngine(snap)
+	snap.Close()
+	if lerr != nil {
+		return false, fmt.Errorf("replica: restore: %w", lerr)
+	}
+	eng.SetWorkers(f.Workers)
+	log, err := wal.Open(f.walDir(), wal.Options{BaseLSN: eng.LSN()})
+	if err != nil {
+		return false, fmt.Errorf("replica: restore: %w", err)
+	}
+	if _, _, err := semprox.ReplayWAL(eng, log); err != nil {
+		log.Close()
+		return false, fmt.Errorf("replica: restore: %w", err)
+	}
+	eng.Compact()
+	f.installLog(log)
+	f.eng.Store(eng)
+	f.applied.Store(eng.LSN())
+	f.appTerm.Store(log.LastTerm())
+	if t := log.Term(); t > f.seenTerm.Load() {
+		f.seenTerm.Store(t)
+	}
+	return true, nil
+}
+
 // Bootstrap downloads a snapshot from the primary and installs the
 // loaded engine. The snapshot's LSN becomes the stream position: Run
-// resumes exactly where the snapshot ends.
+// resumes exactly where the snapshot ends. With Dir set, the snapshot
+// is persisted locally (atomically) and a fresh local WAL is created at
+// its LSN — any previous local log is discarded, because a bootstrap
+// means the old local history is useless (first boot) or diverged
+// (zombie suffix). The newest term this follower has seen survives the
+// wipe: it is seeded into the fresh log so a later Promote still
+// outranks the deposed primary.
 func (f *Follower) Bootstrap(ctx context.Context) error {
-	body, err := f.c.ReplicateSnapshot(ctx)
+	body, err := f.client().ReplicateSnapshot(ctx)
 	if err != nil {
 		return fmt.Errorf("replica: bootstrap: %w", err)
 	}
 	defer body.Close()
-	eng, err := semprox.LoadEngine(body)
-	if err != nil {
-		return fmt.Errorf("replica: bootstrap: %w", err)
+	var eng *semprox.Engine
+	if f.Dir != "" {
+		if err := os.MkdirAll(f.Dir, 0o755); err != nil {
+			return fmt.Errorf("replica: bootstrap: %w", err)
+		}
+		// Persist first (atomic: temp + fsync + rename), then load from
+		// the local copy — the stream is consumed once either way, and a
+		// load failure removes the unusable file so Restore can't boot
+		// from it.
+		if err := atomicfile.WriteWith(f.snapPath(), func(w io.Writer) error {
+			_, cerr := io.Copy(w, body)
+			return cerr
+		}); err != nil {
+			return fmt.Errorf("replica: bootstrap: persist snapshot: %w", err)
+		}
+		snap, err := os.Open(f.snapPath())
+		if err != nil {
+			return fmt.Errorf("replica: bootstrap: %w", err)
+		}
+		eng, err = semprox.LoadEngine(snap)
+		snap.Close()
+		if err != nil {
+			os.Remove(f.snapPath())
+			return fmt.Errorf("replica: bootstrap: %w", err)
+		}
+	} else {
+		eng, err = semprox.LoadEngine(body)
+		if err != nil {
+			return fmt.Errorf("replica: bootstrap: %w", err)
+		}
 	}
 	eng.SetWorkers(f.Workers)
+	if f.Dir != "" {
+		if err := os.RemoveAll(f.walDir()); err != nil {
+			return fmt.Errorf("replica: bootstrap: %w", err)
+		}
+		log, err := wal.Open(f.walDir(), wal.Options{BaseLSN: eng.LSN()})
+		if err != nil {
+			return fmt.Errorf("replica: bootstrap: %w", err)
+		}
+		if t := f.seenTerm.Load(); t > log.Term() {
+			if err := log.SetTerm(t); err != nil {
+				log.Close()
+				return fmt.Errorf("replica: bootstrap: %w", err)
+			}
+		}
+		f.installLog(log)
+	}
 	f.eng.Store(eng)
 	f.applied.Store(eng.LSN())
+	f.appTerm.Store(0) // snapshots carry no term; the first poll skips the history check
 	return nil
 }
 
-// Run bootstraps (if Bootstrap was not already called) and then streams
-// records until ctx ends, coalescing each drained batch into one apply
-// and compacting the accumulated overlays afterwards. Transient primary
-// failures back off and retry. Divergence — a stream gap (the primary
-// truncated its log past this follower), an undecodable record, or a
-// record the local engine rejects — drops readiness (so /v1/readyz goes
-// 503 and load balancers stop routing here) and re-bootstraps a fresh
-// snapshot from the primary. Run returns only on context cancellation.
+// installLog swaps in a fresh local WAL, closing any previous one.
+func (f *Follower) installLog(log *wal.WAL) {
+	f.wmu.Lock()
+	old := f.log
+	f.log = log
+	f.wmu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+func (f *Follower) walRef() *wal.WAL {
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	if f.promoted {
+		return nil
+	}
+	return f.log
+}
+
+// Promote seals the follower's local log for writing: the current term
+// is raised past every term this follower has ever observed (durably,
+// sidecar-first) and the log is handed to the caller — Server.Promote
+// mounts it and starts accepting /v1/update. Call only after Run has
+// stopped (cancel its context and wait); the returned log now belongs
+// to the server, and Close leaves it alone. Requires Dir (a memory-only
+// follower has no durable history to promote).
+func (f *Follower) Promote() (*wal.WAL, error) {
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	if f.log == nil {
+		return nil, errors.New("replica: promote: no local log (follower started without a state dir)")
+	}
+	if f.promoted {
+		return nil, errors.New("replica: promote: already promoted")
+	}
+	next := f.log.Term()
+	if seen := f.seenTerm.Load(); seen > next {
+		next = seen
+	}
+	if err := f.log.SetTerm(next + 1); err != nil {
+		return nil, fmt.Errorf("replica: promote: %w", err)
+	}
+	f.seenTerm.Store(next + 1)
+	f.promoted = true
+	return f.log, nil
+}
+
+// Close releases the follower's local log (no-op when memory-only or
+// already promoted — a promoted log belongs to the server).
+func (f *Follower) Close() error {
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	if f.log == nil || f.promoted {
+		f.log = nil
+		return nil
+	}
+	err := f.log.Close()
+	f.log = nil
+	return err
+}
+
+// Run bootstraps (if Restore or Bootstrap was not already called) and
+// then streams records until ctx ends, coalescing each drained batch
+// into one apply and compacting the accumulated overlays afterwards.
+// Transient primary failures (and fencing — polling a deposed primary)
+// back off and retry. Divergence — a 409 term mismatch, a stream gap, an
+// undecodable record, or a record the local engine rejects — drops
+// readiness (so /v1/readyz goes 503 and load balancers stop routing
+// here) and re-bootstraps a fresh snapshot from the primary. Run returns
+// only on context cancellation.
 func (f *Follower) Run(ctx context.Context) error {
 	if f.Engine() == nil {
 		if err := f.Bootstrap(ctx); err != nil {
@@ -158,14 +375,54 @@ func (e *applyError) Error() string { return e.err.Error() }
 func (e *applyError) Unwrap() error { return e.err }
 
 // pollOnce issues one since request through the typed client, coalesces
-// the contiguous records it returned into one delta, and applies it in a
-// single epoch swap (see Engine.ApplyUpdateBatchAt), returning how many
-// records were applied.
+// the contiguous records it returned into one delta, fsyncs them into
+// the local WAL (durable BEFORE visible — an LSN this follower reports
+// in its next poll, and so may release a synchronously-replicated ack
+// on the primary, must survive this follower crashing), and applies
+// them in a single epoch swap (see Engine.ApplyUpdateBatchAt),
+// returning how many records were applied.
 func (f *Follower) pollOnce(ctx context.Context) (int, error) {
 	after := f.applied.Load()
-	sr, err := f.c.ReplicateSince(ctx, after, f.MaxBatch, f.PollWait)
+	afterTerm := uint64(0)
+	if after > 0 {
+		afterTerm = f.appTerm.Load()
+	}
+	sr, err := f.client().ReplicateSince(ctx, after, afterTerm, f.MaxBatch, f.PollWait)
 	if err != nil {
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) && apiErr.Code == api.CodeTermMismatch {
+			// The primary holds a DIFFERENT record at our applied LSN:
+			// our suffix came from a deposed primary and was overwritten
+			// by a promotion. Only a fresh snapshot reconverges.
+			return 0, &applyError{fmt.Errorf("replica: poll: %w", err)}
+		}
 		return 0, fmt.Errorf("replica: poll: %w", err)
+	}
+	// Fencing comes FIRST, before any divergence check: a response from a
+	// term older than one we have seen is a zombie primary — still
+	// answering, unaware it was deposed. Nothing it says is actionable
+	// (not even "you are ahead of me", which from a zombie is expected,
+	// not divergence); applying its records would fork our history. Stay
+	// fenced until a current-term primary answers — the monitor's
+	// Retarget, or the zombie rejoining as a follower of the new primary,
+	// clears it.
+	srvTerm := sr.Term
+	if srvTerm == 0 {
+		srvTerm = 1 // a pre-term primary is term 1, same as its records
+	}
+	if seen := f.seenTerm.Load(); srvTerm < seen {
+		f.fenced.Store(true)
+		return 0, fmt.Errorf("replica: poll: fenced: primary %s answers at term %d but term %d exists — polling a zombie", f.client().BaseURL(), srvTerm, seen)
+	}
+	if srvTerm > f.seenTerm.Load() {
+		f.seenTerm.Store(srvTerm)
+	}
+	if sr.LastLSN < after {
+		// A CURRENT-term primary whose durable log ends behind what we
+		// applied: our suffix never reached it (we replicated it from a
+		// log that died with the old primary) — that suffix is not part
+		// of history. Discard local state and re-bootstrap.
+		return 0, &applyError{fmt.Errorf("replica: primary at term %d ends at LSN %d but we applied %d: our suffix lost the promotion", srvTerm, sr.LastLSN, after)}
 	}
 	// Coalesce the batch. Records at or below the applied position are
 	// duplicate deliveries after a retry; past that the LSNs must be
@@ -176,13 +433,17 @@ func (f *Follower) pollOnce(ctx context.Context) (int, error) {
 	// endpoints within the node count as of ITS position in the stream):
 	// a record the primary logged but rejected-and-skipped must fail here
 	// too, not be absorbed by a merged delta whose later records happen
-	// to bring its out-of-range endpoints into range. The contiguous
-	// valid prefix before a gap / undecodable / invalid record still
-	// applies; the divergence error surfaces after.
+	// to bring its out-of-range endpoints into range. Terms must never
+	// decrease along the stream (the serving log enforces that on its own
+	// records, so a violation here means a broken or lying server).
+	// The contiguous valid prefix before a gap / undecodable / invalid
+	// record still applies; the divergence error surfaces after.
 	eng := f.Engine()
 	var d graph.Delta
+	var raws []wal.RawRecord
 	nodes := eng.Graph().NumNodes()
 	last, count := after, 0
+	lastTerm, prevTerm := f.appTerm.Load(), f.appTerm.Load()
 	var diverged error
 	for _, rec := range sr.Records {
 		if rec.LSN <= last {
@@ -190,6 +451,14 @@ func (f *Follower) pollOnce(ctx context.Context) (int, error) {
 		}
 		if rec.LSN != last+1 {
 			diverged = &applyError{fmt.Errorf("replica: stream gap: record %d after %d (primary log truncated past us)", rec.LSN, last)}
+			break
+		}
+		recTerm := rec.Term
+		if recTerm == 0 {
+			recTerm = 1
+		}
+		if recTerm < prevTerm || recTerm > srvTerm {
+			diverged = &applyError{fmt.Errorf("replica: record %d term %d outside [%d, %d]: stream breaks term order", rec.LSN, recTerm, prevTerm, srvTerm)}
 			break
 		}
 		rd, err := graph.DecodeDelta(rec.Delta)
@@ -203,16 +472,29 @@ func (f *Follower) pollOnce(ctx context.Context) (int, error) {
 		}
 		d.Nodes = append(d.Nodes, rd.Nodes...)
 		d.Edges = append(d.Edges, rd.Edges...)
+		raws = append(raws, wal.RawRecord{LSN: rec.LSN, Term: recTerm, Delta: rec.Delta})
 		nodes += len(rd.Nodes)
-		last = rec.LSN
+		last, prevTerm, lastTerm = rec.LSN, recTerm, recTerm
 		count++
 	}
 	applied := 0
 	if count > 0 {
+		if log := f.walRef(); log != nil {
+			// Durable before visible: the batch fsyncs into the local log
+			// before the engine applies it. A crash between the two replays
+			// the batch from the local log (Restore); the reverse order
+			// could advance our reported position past records a crash
+			// erases — and the primary may have released an acked write on
+			// that report.
+			if err := log.AppendRawBatch(raws); err != nil {
+				return 0, fmt.Errorf("replica: local log: %w", err)
+			}
+		}
 		if _, err := eng.ApplyUpdateBatchAt(d, last, count); err != nil {
 			return 0, &applyError{fmt.Errorf("replica: apply records %d..%d: %w", after+1, last, err)}
 		}
 		f.applied.Store(last)
+		f.appTerm.Store(lastTerm)
 		applied = count
 	}
 	if diverged != nil {
@@ -222,6 +504,7 @@ func (f *Follower) pollOnce(ctx context.Context) (int, error) {
 		f.target.Store(sr.LastLSN)
 	}
 	f.polled.Store(true)
+	f.fenced.Store(false)
 	return applied, nil
 }
 
@@ -234,32 +517,42 @@ func applicable(eng *semprox.Engine, nodes int, d graph.Delta) error {
 	return graph.ValidateApply(eng.Graph().Types(), nodes, d)
 }
 
-// Status reports the follower's replication position in one consistent
-// read: the LSN applied locally, the primary's durable LSN as of the
-// last successful poll, the lag between them (clamped at 0), and whether
-// the follower is ready — bootstrapped, at least one poll completed, and
-// zero lag. Callers needing several of these values must take them from
-// ONE Status call; separate calls read the atomics independently and can
-// disagree.
-func (f *Follower) Status() (applied, primaryLSN, lag uint64, ready bool) {
-	applied = f.applied.Load()
-	primaryLSN = f.target.Load()
-	if primaryLSN > applied {
-		lag = primaryLSN - applied
+// FollowerStatus is one consistent read of a follower's replication
+// position: the LSN applied locally, the primary's durable LSN as of
+// the last successful poll, the lag between them (clamped at 0), the
+// newest term observed, and the readiness verdicts. Callers needing
+// several of these values must take them from ONE Status call; separate
+// calls read the atomics independently and can disagree.
+type FollowerStatus struct {
+	Applied    uint64
+	PrimaryLSN uint64
+	Lag        uint64
+	Term       uint64
+	Ready      bool // bootstrapped, polled cleanly, zero lag, not fenced
+	Fenced     bool // last poll hit a deposed (stale-term) primary
+}
+
+// Status reports the follower's replication position.
+func (f *Follower) Status() FollowerStatus {
+	st := FollowerStatus{
+		Applied:    f.applied.Load(),
+		PrimaryLSN: f.target.Load(),
+		Term:       f.seenTerm.Load(),
+		Fenced:     f.fenced.Load(),
 	}
-	ready = f.Engine() != nil && f.polled.Load() && lag == 0
-	return applied, primaryLSN, lag, ready
+	if st.PrimaryLSN > st.Applied {
+		st.Lag = st.PrimaryLSN - st.Applied
+	}
+	st.Ready = f.Engine() != nil && f.polled.Load() && st.Lag == 0 && !st.Fenced
+	return st
 }
 
 // Lag returns primaryLSN - appliedLSN as of the last poll (0 when caught
 // up or not yet polled).
-func (f *Follower) Lag() uint64 {
-	_, _, lag, _ := f.Status()
-	return lag
-}
+func (f *Follower) Lag() uint64 { return f.Status().Lag }
 
 // PrimaryURL returns the primary base URL the follower replicates from.
-func (f *Follower) PrimaryURL() string { return f.c.BaseURL() }
+func (f *Follower) PrimaryURL() string { return f.client().BaseURL() }
 
 // ValidPrimaryURL rejects -follow values that cannot name a primary;
 // cmd/semproxd validates the flag before bootstrapping.

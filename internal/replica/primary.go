@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	semprox "repro"
@@ -55,6 +56,14 @@ type Primary struct {
 	MaxBatch int
 	MaxBytes int
 	MaxWait  time.Duration
+
+	// confirmed is the highest LSN any follower has reported durably
+	// applied (the lsn= parameter of its since polls — a follower only
+	// advances that after its local WAL fsynced the records). Writers
+	// that want synchronous replication wait on it via WaitConfirmed.
+	mu          sync.Mutex
+	confirmed   uint64
+	confirmedCh chan struct{} // closed and replaced when confirmed advances
 }
 
 // NewPrimary wraps an engine and the WAL its updates are logged to.
@@ -62,17 +71,55 @@ func NewPrimary(eng *semprox.Engine, log *wal.WAL) *Primary {
 	return &Primary{eng: eng, log: log}
 }
 
-// ServeSince answers GET /v1/replicate/since?lsn=N[&max=M][&wait_ms=T]:
-// records with LSN > N in log order. With wait_ms and no records ready it
-// long-polls until one arrives or the wait elapses (an empty response is
-// not an error — it tells the follower it is caught up at last_lsn). The
-// caller (internal/server) renders the returned status/body/error in its
-// structured JSON shapes.
+// ServeSince answers GET /v1/replicate/since?lsn=N[&max=M][&wait_ms=T]
+// [&term=X]: records with LSN > N in log order. With wait_ms and no
+// records ready it long-polls until one arrives or the wait elapses (an
+// empty response is not an error — it tells the follower it is caught up
+// at last_lsn). The caller (internal/server) renders the returned
+// status/body/error in its structured JSON shapes.
+//
+// term=X is the term of the record the POLLER holds at LSN N. When this
+// log's record at N carries a different term, the two histories diverged
+// at or before N — the poller applied records from a primary that was
+// later deposed and its suffix was overwritten by a promotion. Streaming
+// from N would silently graft the new history onto the old one, so the
+// poll is refused with 409 and the poller must re-bootstrap from a
+// snapshot. term=0 (or absent) skips the check: the poller either
+// predates terms or holds no record at N.
 func (p *Primary) ServeSince(r *http.Request) (int, any, error) {
 	q := r.URL.Query()
 	after, err := strconv.ParseUint(q.Get("lsn"), 10, 64)
 	if err != nil {
 		return http.StatusBadRequest, nil, fmt.Errorf("bad lsn %q", q.Get("lsn"))
+	}
+	var pollerTerm uint64
+	if ts := q.Get("term"); ts != "" {
+		pollerTerm, err = strconv.ParseUint(ts, 10, 64)
+		if err != nil {
+			return http.StatusBadRequest, nil, fmt.Errorf("bad term %q", ts)
+		}
+		if pollerTerm > 0 && after > 0 {
+			if have, ok := p.log.TermAt(after); ok && have != pollerTerm {
+				return http.StatusConflict, nil, fmt.Errorf(
+					"history diverged at LSN %d: this log's record has term %d, yours has term %d; re-bootstrap from a snapshot",
+					after, have, pollerTerm)
+			}
+		}
+	}
+	// The poll position doubles as a durability receipt: a follower only
+	// advances lsn= after the records are fsynced in its local log, so
+	// `after` is replicated-and-durable and synchronous writers waiting in
+	// WaitConfirmed can be released — but only when this log can vouch for
+	// the position. A poller past our durable end, or whose record at
+	// `after` carries a term NEWER than our current one, holds records this
+	// log never wrote: it is following a newer primary and we are the
+	// deposed one. Its position vouches for a different history, and a
+	// zombie releasing a synchronous ack on the strength of a fenced
+	// follower's poll would ack a write nobody will ever replicate. (The
+	// poll itself is still served: the response's stale term is what tells
+	// the poller to fence.)
+	if after <= p.log.DurableLSN() && pollerTerm <= p.log.Term() {
+		p.noteConfirmed(after)
 	}
 	max := p.MaxBatch
 	if max <= 0 {
@@ -122,18 +169,73 @@ func (p *Primary) ServeSince(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusInternalServerError, nil, fmt.Errorf("read log: %w", err)
 	}
-	resp := api.SinceResponse{From: after, LastLSN: durable, Records: make([]api.ReplicateRecord, len(recs))}
+	resp := api.SinceResponse{
+		From:    after,
+		LastLSN: durable,
+		Term:    p.log.Term(),
+		Records: make([]api.ReplicateRecord, len(recs)),
+	}
 	for i, rec := range recs {
-		resp.Records[i] = api.ReplicateRecord{LSN: rec.LSN, Delta: rec.Delta}
+		resp.Records[i] = api.ReplicateRecord{LSN: rec.LSN, Term: rec.Term, Delta: rec.Delta}
 	}
 	return http.StatusOK, resp, nil
 }
 
+// noteConfirmed records that some follower has durably applied through
+// lsn, waking WaitConfirmed waiters at or below it.
+func (p *Primary) noteConfirmed(lsn uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if lsn <= p.confirmed {
+		return
+	}
+	p.confirmed = lsn
+	if p.confirmedCh != nil {
+		close(p.confirmedCh)
+		p.confirmedCh = nil
+	}
+}
+
+// Confirmed returns the highest LSN any follower has reported durably
+// applied.
+func (p *Primary) Confirmed() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.confirmed
+}
+
+// WaitConfirmed blocks until some follower has reported lsn durably
+// applied (true) or ctx ends (false). This is the synchronous-replication
+// gate: a primary started with -ack-replicas holds each update's ack here
+// so an acked write survives losing the primary — the promoted follower
+// already has it.
+func (p *Primary) WaitConfirmed(ctx context.Context, lsn uint64) bool {
+	for {
+		p.mu.Lock()
+		if p.confirmed >= lsn {
+			p.mu.Unlock()
+			return true
+		}
+		if p.confirmedCh == nil {
+			p.confirmedCh = make(chan struct{})
+		}
+		ch := p.confirmedCh
+		p.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-ch:
+		}
+	}
+}
+
 // ServeSnapshot answers GET /v1/replicate/snapshot with an engine snapshot
-// stream — the follower bootstrap source. Save reads one immutable epoch,
-// so the stream is a consistent engine at one (epoch, LSN) point even
-// while updates keep applying.
+// stream — the follower bootstrap source. The save pins one immutable
+// epoch, then gates on the WAL until that epoch's LSN is durable before
+// streaming a byte: under pipelined commit an epoch can be visible while
+// its record is still in flight to disk, and a snapshot of such an epoch
+// would hand the follower state a crash could make the primary forget.
 func (p *Primary) ServeSnapshot(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "application/octet-stream")
-	return p.eng.Save(w)
+	return p.eng.SaveWait(w, p.log.WaitDurable)
 }

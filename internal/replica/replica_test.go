@@ -90,15 +90,15 @@ func waitCaughtUp(t *testing.T, f *replica.Follower, target uint64) {
 	t.Helper()
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		applied, _, _, ready := f.Status()
-		if ready && applied >= target {
+		st := f.Status()
+		if st.Ready && st.Applied >= target {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	applied, primaryLSN, lag, ready := f.Status()
+	st := f.Status()
 	t.Fatalf("follower never caught up: applied %d, primary %d, lag %d, ready %v (target %d)",
-		applied, primaryLSN, lag, ready, target)
+		st.Applied, st.PrimaryLSN, st.Lag, st.Ready, target)
 }
 
 // TestFollowerConvergesByteIdentical is the acceptance property of the

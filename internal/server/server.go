@@ -50,6 +50,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	semprox "repro"
 	"repro/api"
@@ -66,10 +67,28 @@ const (
 	defaultK     = api.DefaultK
 )
 
+// role is everything about the server that changes when the node's
+// place in the replication topology changes: the engine it serves, the
+// log it writes (primary), and the follower feeding it (replica). It is
+// swapped as ONE atomic pointer — a promotion (follower → primary on
+// failover) replaces the whole set in a single store, and every handler
+// loads it exactly once per request, so no request ever sees a primary
+// log paired with a follower engine.
+type role struct {
+	eng *semprox.Engine
+	// log, when attached, makes every update durable before its ack;
+	// primary then serves it to followers over /v1/replicate.
+	log     *wal.WAL
+	primary *replica.Primary
+	// follower, when set, marks this server a read replica: updates are
+	// refused and /v1/readyz reports replication lag.
+	follower *replica.Follower
+}
+
 // Server routes HTTP requests to one engine.
 type Server struct {
-	eng *semprox.Engine
-	mux *http.ServeMux
+	role atomic.Pointer[role]
+	mux  *http.ServeMux
 	// autoCompact folds update overlays into flat storage from a
 	// background goroutine after each update; compacting wakes track the
 	// in-flight goroutines so tests (and graceful shutdown) can wait.
@@ -80,23 +99,22 @@ type Server struct {
 	// calling ApplyUpdate; two concurrent handlers predicting off the
 	// same epoch would race to the same ids and silently cross-wire their
 	// edges, so the whole read-resolve-apply sequence is one critical
-	// section — including the WAL append, which must reach the log in
-	// apply order. Queries never touch this lock.
+	// section — including the WAL append, which must START in apply
+	// order. Queries never touch this lock.
 	//
-	// Known limitation: because the append happens under this lock, the
-	// WAL's group-commit batching never engages for HTTP updates — each
-	// update pays a dedicated fsync, capping write throughput at roughly
-	// one update per fsync latency. Lifting the append out is unsafe as
-	// long as node-id prediction reads the pre-append graph; batching
-	// across requests would need the id resolution moved into the engine.
+	// The fsync does NOT happen under this lock: the handler enqueues
+	// the record (wal.AppendAsync) and applies it inside the critical
+	// section, then waits for durability (wal.WaitDurable) outside it —
+	// so while update N's fsync runs, update N+1 is already resolving
+	// and enqueueing, and the log's group commit folds both into one
+	// fsync. The ack still only leaves after the record is on disk;
+	// what's pipelined is ack N vs fsync N+1, not durability itself.
 	updateMu sync.Mutex
-	// log, when attached, makes every update durable before it applies;
-	// primary then serves it to followers over /v1/replicate.
-	log     *wal.WAL
-	primary *replica.Primary
-	// follower, when set, marks this server a read replica: updates are
-	// refused and /v1/readyz reports replication lag.
-	follower *replica.Follower
+	// ackReplicas > 0 additionally holds each update's ack until some
+	// follower has confirmed (via its poll position) durably applying
+	// the record — synchronous replication, the failover guarantee that
+	// an acked write survives losing the primary.
+	ackReplicas atomic.Int64
 }
 
 // New wraps an engine in an HTTP handler with background compaction after
@@ -104,7 +122,8 @@ type Server struct {
 // /v1 path and at its unversioned legacy alias — serving byte-identical
 // responses (error messages mention the canonical /v1 path either way).
 func New(eng *semprox.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), autoCompact: true}
+	s := &Server{mux: http.NewServeMux(), autoCompact: true}
+	s.role.Store(&role{eng: eng})
 	for path, h := range map[string]http.HandlerFunc{
 		api.PathHealthz:           s.handleHealthz,
 		api.PathClasses:           s.handleClasses,
@@ -123,18 +142,47 @@ func New(eng *semprox.Engine) *Server {
 }
 
 // AttachWAL makes the server a primary: every accepted update is
-// appended (and fsynced, via the log's group commit) to w before it is
-// applied to the engine, and the /v1/replicate endpoints serve the log
-// to followers. Call before serving.
+// appended (and fsynced, via the log's group commit) to w before its
+// ack, and the /v1/replicate endpoints serve the log to followers. Call
+// before serving.
 func (s *Server) AttachWAL(w *wal.WAL) {
-	s.log = w
-	s.primary = replica.NewPrimary(s.eng, w)
+	eng := s.role.Load().eng
+	s.role.Store(&role{eng: eng, log: w, primary: replica.NewPrimary(eng, w)})
 }
 
 // SetFollower marks the server a read replica fed by f: updates return
 // 503 (writes belong to the primary) and /v1/readyz reports catch-up
 // state. Call before serving.
-func (s *Server) SetFollower(f *replica.Follower) { s.follower = f }
+func (s *Server) SetFollower(f *replica.Follower) {
+	s.role.Store(&role{eng: s.role.Load().eng, follower: f})
+}
+
+// SetAckReplicas makes every update ack wait until a follower confirms
+// durably applying it (n > 0; the count is advisory — one confirming
+// follower releases the ack). Safe to call while serving.
+func (s *Server) SetAckReplicas(n int) { s.ackReplicas.Store(int64(n)) }
+
+// Promote flips a follower server into a primary serving writes on w —
+// the follower's own promoted log (Follower.Promote). The follower's
+// current engine, the log, and a fresh Primary replace the old role in
+// one atomic store: requests already past their role load finish under
+// the old one (they were refusing updates — still correct), everything
+// after serves the new. Call only after the follower's Run has stopped.
+func (s *Server) Promote(w *wal.WAL) error {
+	cur := s.role.Load()
+	if cur.follower == nil {
+		return errors.New("server: promote: not a follower")
+	}
+	eng := cur.follower.Engine()
+	if eng == nil {
+		return errors.New("server: promote: follower has no engine (never bootstrapped)")
+	}
+	if got, want := eng.LSN()+1, w.NextLSN(); got != want {
+		return fmt.Errorf("server: promote: engine expects LSN %d but the log would assign %d", got, want)
+	}
+	s.role.Store(&role{eng: eng, log: w, primary: replica.NewPrimary(eng, w)})
+	return nil
+}
 
 // engine returns the engine requests should serve. A follower's engine
 // is read through the follower on every request: divergence makes
@@ -143,12 +191,13 @@ func (s *Server) SetFollower(f *replica.Follower) { s.follower = f }
 // data forever. Each handler calls this once and uses the result
 // throughout, so a single request never mixes two engines.
 func (s *Server) engine() *semprox.Engine {
-	if s.follower != nil {
-		if eng := s.follower.Engine(); eng != nil {
+	rl := s.role.Load()
+	if rl.follower != nil {
+		if eng := rl.follower.Engine(); eng != nil {
 			return eng
 		}
 	}
-	return s.eng
+	return rl.eng
 }
 
 // SetAutoCompact toggles background compaction after updates. Call before
@@ -387,9 +436,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodPost) {
 		return
 	}
-	if s.follower != nil {
+	rl := s.role.Load()
+	if rl.follower != nil {
 		writeErr(w, errUnavailable(api.CodeNotPrimary,
-			"this replica is read-only; send updates to the primary at %s", s.follower.PrimaryURL()))
+			"this replica is read-only; send updates to the primary at %s", rl.follower.PrimaryURL()))
 		return
 	}
 	var req api.UpdateRequest
@@ -405,20 +455,70 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errBadRequest("update of %d additions exceeds limit %d", total, MaxUpdate))
 		return
 	}
+	st, herr := s.applyUpdate(rl, req)
+	if herr != nil {
+		writeErr(w, herr)
+		return
+	}
+	// Durability gate, OUTSIDE the lock: the record was enqueued and the
+	// engine updated in the critical section; the ack leaves only after
+	// the log reports the record fsynced. Meanwhile the next update is
+	// already inside the critical section enqueueing — its record rides
+	// the same or the next group commit. A failed wait means the log is
+	// sticky-poisoned (readyz flips wal_failed); the epoch already
+	// applied stays visible locally but was never acked.
+	if rl.log != nil {
+		if err := rl.log.WaitDurable(st.LSN); err != nil {
+			writeErr(w, errInternal("update at LSN %d applied but not durable (log failed): %v", st.LSN, err))
+			return
+		}
+		if rl.primary != nil && s.ackReplicas.Load() > 0 {
+			// Synchronous replication: hold the ack until a follower's
+			// poll position confirms the record is durable off this box
+			// too. ctx ends (client gone / server timeout) → the write IS
+			// applied and locally durable, but we cannot claim it's
+			// replicated; 500 tells the client its fate is unknown.
+			if !rl.primary.WaitConfirmed(r.Context(), st.LSN) {
+				writeErr(w, errInternal("update at LSN %d durable locally but not yet confirmed by any replica", st.LSN))
+				return
+			}
+		}
+	}
+	if s.autoCompact && st.Pending > 0 {
+		s.compacting.Add(1)
+		go func() {
+			defer s.compacting.Done()
+			rl.eng.Compact()
+		}()
+	}
+	writeJSON(w, http.StatusOK, api.UpdateResponse{
+		Epoch:             st.Epoch,
+		LSN:               st.LSN,
+		NodesAdded:        st.NodesAdded,
+		EdgesAdded:        st.EdgesAdded,
+		Rematched:         st.Rematched,
+		PendingCompaction: st.Pending,
+	})
+}
+
+// applyUpdate is the update critical section: resolve the request
+// against the current graph, enqueue the record, apply the delta. It
+// returns with the record IN FLIGHT to disk — the caller must gate the
+// ack on WaitDurable.
+func (s *Server) applyUpdate(rl *role, req api.UpdateRequest) (semprox.UpdateStats, *api.Error) {
+	var zero semprox.UpdateStats
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
-	eng := s.eng // never a follower here: the update was refused above
+	eng := rl.eng // never a follower here: the update was refused by the caller
 	g := eng.Graph()
 	d := semprox.Delta{Nodes: make([]semprox.DeltaNode, len(req.Nodes))}
 	fresh := make(map[string]semprox.NodeID, len(req.Nodes))
 	for i, n := range req.Nodes {
 		if n.Type == "" || n.Name == "" {
-			writeErr(w, errBadRequest("nodes[%d]: type and name are required", i))
-			return
+			return zero, errBadRequest("nodes[%d]: type and name are required", i)
 		}
 		if g.Types().ID(n.Type) == semprox.InvalidType {
-			writeErr(w, errBadRequest("nodes[%d]: unknown type %q (a delta cannot introduce types)", i, n.Type))
-			return
+			return zero, errBadRequest("nodes[%d]: unknown type %q (a delta cannot introduce types)", i, n.Type)
 		}
 		d.Nodes[i] = semprox.DeltaNode{Type: n.Type, Value: n.Name}
 		if _, dup := fresh[n.Name]; !dup {
@@ -454,39 +554,49 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for i, e := range req.Edges {
 		u, herr := resolve(fmt.Sprintf("edges[%d].u", i), e.U)
 		if herr != nil {
-			writeErr(w, herr)
-			return
+			return zero, herr
 		}
 		v, herr := resolve(fmt.Sprintf("edges[%d].v", i), e.V)
 		if herr != nil {
-			writeErr(w, herr)
-			return
+			return zero, herr
 		}
 		d.Edges[i] = semprox.Edge{U: u, V: v}
 	}
-	// Durability before visibility: the delta reaches the fsynced log
-	// first, then the engine, both inside updateMu so log order equals
-	// apply order. A crash between the two replays the record on boot.
+	// Log order equals apply order: the delta is enqueued to the log and
+	// applied to the engine inside updateMu. The enqueue assigns the LSN
+	// and starts the record toward disk but does NOT wait for the fsync —
+	// that's the caller's WaitDurable, outside the lock, which is what
+	// lets consecutive updates share one group commit. A crash can
+	// therefore lose an applied-but-unsynced suffix; no ack ever covered
+	// it (WaitDurable gates every ack), and recovery replays exactly the
+	// durable prefix.
 	var st semprox.UpdateStats
 	var err error
-	if s.log != nil {
-		lsn, aerr := s.log.Append(d)
+	if rl.log != nil {
+		lsn, aerr := rl.log.AppendAsync(d)
 		if aerr != nil {
-			writeErr(w, errInternal("wal append: %v", aerr))
-			return
+			return zero, errInternal("wal append: %v", aerr)
 		}
 		st, err = eng.ApplyUpdateAt(d, lsn)
 		if err != nil {
-			// The record is durable but the engine rejected it — the
+			// The record is logged but the engine rejected it — the
 			// validation above is meant to make this unreachable. Leaving
 			// the log and engine disagreeing would brick the next boot
-			// (replay hits the same record) and wedge followers, so record
-			// the skip durably in the log's skip list, then advance the
-			// LSN past the dead record: ApplyUpdateAt is deterministic, so
-			// replay reproduces the recorded skip and re-bootstrapping
-			// replicas land beyond it — every copy stays aligned.
+			// (replay hits the same record) and wedge followers, so first
+			// make the record itself durable, then record the skip durably
+			// in the log's skip list, then advance the LSN past the dead
+			// record: ApplyUpdateAt is deterministic, so replay reproduces
+			// the recorded skip and re-bootstrapping replicas land beyond
+			// it — every copy stays aligned. (The skip sidecar must never
+			// name a record that isn't on disk, hence the wait first.)
 			log.Printf("server: update logged at LSN %d but rejected by the engine (recording the skip): %v", lsn, err)
-			if serr := s.log.RecordSkip(lsn); serr != nil {
+			if derr := rl.log.WaitDurable(lsn); derr != nil {
+				// The record never became durable and the log is poisoned
+				// (readyz now wal_failed); with no durable record there is
+				// no gap to annotate, and the engine never applied it.
+				return zero, errInternal("update rejected at LSN %d and the log failed syncing it: %v (rejection: %v)", lsn, derr, err)
+			}
+			if serr := rl.log.RecordSkip(lsn); serr != nil {
 				// RecordSkip poisons the log on failure: Append now refuses
 				// and readyz reports wal_failed, so the operator learns
 				// immediately that the next boot would refuse to replay past
@@ -494,33 +604,17 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 				log.Printf("server: recording skip of LSN %d failed, WAL poisoned (readyz now wal_failed): %v", lsn, serr)
 			}
 			eng.AdvanceLSN(lsn)
-			writeErr(w, errInternal("update logged at LSN %d but rejected by the engine: %v", lsn, err))
-			return
+			return zero, errInternal("update logged at LSN %d but rejected by the engine: %v", lsn, err)
 		}
 	} else {
 		st, err = eng.ApplyUpdate(d)
 		if err != nil {
 			// Everything client-controlled was validated above; a residual
 			// failure still maps to a 400 with the engine's reason.
-			writeErr(w, errBadRequest("%v", err))
-			return
+			return zero, errBadRequest("%v", err)
 		}
 	}
-	if s.autoCompact && st.Pending > 0 {
-		s.compacting.Add(1)
-		go func() {
-			defer s.compacting.Done()
-			eng.Compact()
-		}()
-	}
-	writeJSON(w, http.StatusOK, api.UpdateResponse{
-		Epoch:             st.Epoch,
-		LSN:               st.LSN,
-		NodesAdded:        st.NodesAdded,
-		EdgesAdded:        st.EdgesAdded,
-		Rematched:         st.Rematched,
-		PendingCompaction: st.Pending,
-	})
+	return st, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -545,49 +639,62 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodGet) {
 		return
 	}
-	if s.follower != nil {
-		// One Status() read feeds the whole response: a separate Lag()
-		// call would re-read the atomics and could disagree with the
+	rl := s.role.Load()
+	if rl.follower != nil {
+		// One Status() read feeds the whole response: separate calls
+		// would re-read the atomics and could disagree with the
 		// ready/LSN values reported here.
-		applied, primaryLSN, lag, ready := s.follower.Status()
+		fst := rl.follower.Status()
 		resp := api.ReadyResponse{Status: api.StatusReady, Role: api.RoleFollower,
-			LSN: applied, PrimaryLSN: primaryLSN, Lag: lag}
+			LSN: fst.Applied, PrimaryLSN: fst.PrimaryLSN, Lag: fst.Lag, Term: fst.Term}
 		status := http.StatusOK
-		if !ready {
+		switch {
+		case fst.Fenced:
+			// Not catching_up: fencing never clears with time, only by
+			// reaching a current-term primary. Monitors treat the two
+			// differently (a fenced follower is still an election
+			// candidate; its LSN and term are trustworthy).
+			resp.Status = api.StatusFenced
+			status = http.StatusServiceUnavailable
+		case !fst.Ready:
 			resp.Status = api.StatusCatchingUp
 			status = http.StatusServiceUnavailable
 		}
 		writeJSON(w, status, resp)
 		return
 	}
-	role := api.RoleStandalone
-	if s.log != nil {
-		role = api.RolePrimary
+	role, term := api.RoleStandalone, uint64(0)
+	if rl.log != nil {
+		role, term = api.RolePrimary, rl.log.Term()
 		// A primary whose log has sticky-failed (disk full, I/O error) can
 		// accept no more writes until restart; readiness is how load
 		// balancers find that out.
-		if err := s.log.Err(); err != nil {
+		if err := rl.log.Err(); err != nil {
 			writeJSON(w, http.StatusServiceUnavailable,
-				api.ReadyResponse{Status: api.StatusWALFailed, Role: role, LSN: s.eng.LSN()})
+				api.ReadyResponse{Status: api.StatusWALFailed, Role: role, LSN: rl.eng.LSN(), Term: term})
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, api.ReadyResponse{Status: api.StatusReady, Role: role, LSN: s.eng.LSN()})
+	writeJSON(w, http.StatusOK, api.ReadyResponse{Status: api.StatusReady, Role: role, LSN: rl.eng.LSN(), Term: term})
 }
 
 func (s *Server) handleReplicateSince(w http.ResponseWriter, r *http.Request) {
 	if !methodCheck(w, r, http.MethodGet) {
 		return
 	}
-	if s.primary == nil {
+	primary := s.role.Load().primary
+	if primary == nil {
 		writeErr(w, errUnavailable(api.CodeReplicationDisabled,
 			"no write-ahead log attached (start with -wal to serve followers)"))
 		return
 	}
-	status, body, err := s.primary.ServeSince(r)
+	status, body, err := primary.ServeSince(r)
 	if err != nil {
 		code := api.CodeBadRequest
-		if status >= 500 {
+		switch {
+		case status == http.StatusConflict:
+			code = api.CodeTermMismatch
+		case status >= 500:
 			code = api.CodeInternal
 		}
 		writeErr(w, api.Errorf(status, code, "%s", err.Error()))
@@ -600,7 +707,8 @@ func (s *Server) handleReplicateSnapshot(w http.ResponseWriter, r *http.Request)
 	if !methodCheck(w, r, http.MethodGet) {
 		return
 	}
-	if s.primary == nil {
+	primary := s.role.Load().primary
+	if primary == nil {
 		writeErr(w, errUnavailable(api.CodeReplicationDisabled,
 			"no write-ahead log attached (start with -wal to serve followers)"))
 		return
@@ -608,7 +716,7 @@ func (s *Server) handleReplicateSnapshot(w http.ResponseWriter, r *http.Request)
 	// The snapshot streams straight from one immutable epoch; an error
 	// after the first byte cannot become a structured response, so the
 	// client detects it as a truncated gob stream.
-	if err := s.primary.ServeSnapshot(w, r); err != nil {
+	if err := primary.ServeSnapshot(w, r); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -15,101 +15,127 @@ import (
 
 // Reading the log: recovery scans (Open), crash-recovery replay
 // (Replay), and the replication feed (Since/WaitSince). All reads go
-// through scanSegment, which validates framing, CRC, LSN contiguity and
-// delta decoding, so every consumer sees the same hardened view of the
-// bytes: a record is either fully valid or the scan stops (tolerant mode,
-// for the final segment's torn tail) or fails (strict mode, for sealed
-// segments).
+// through scanSegment, which validates framing, CRC, LSN contiguity,
+// term ordering and delta decoding, so every consumer sees the same
+// hardened view of the bytes: a record is either fully valid or the scan
+// stops (tolerant mode, for the final segment's torn tail) or fails
+// (strict mode, for sealed segments).
 
 // errTornTail marks a record that ends mid-frame or fails its checksum —
 // the shape a crash mid-write leaves behind.
 var errTornTail = errors.New("torn record")
 
-// scanSegment reads one segment file. It returns the byte offset just
-// past the last valid record and that record's LSN (0 if the segment
-// holds none). In strict mode any invalid byte is an error; otherwise the
-// scan stops at the first torn record (the caller truncates there).
-// fn, when non-nil, is called for every valid record; a false return
-// stops the scan early (offset/last then describe the scanned prefix).
-func scanSegment(path string, declaredFirst uint64, strict bool, fn func(lsn uint64, delta []byte) bool) (offset int64, last uint64, err error) {
+// scanSegment reads one segment file, sniffing the wire version from the
+// header magic (legacy records read back as term 1). It returns the byte
+// offset just past the last valid record, that record's LSN (0 if the
+// segment holds none), and the segment's version. In strict mode any
+// invalid byte is an error; otherwise the scan stops at the first torn
+// record (the caller truncates there). A term regressing within the
+// segment is an error in BOTH modes: a crash tears bytes, it cannot
+// decrement a varint behind a valid CRC — that shape means mixed or
+// tampered logs, never a recoverable tail. fn, when non-nil, is called
+// for every valid record; a false return stops the scan early
+// (offset/last then describe the scanned prefix).
+func scanSegment(path string, declaredFirst uint64, strict bool, fn func(lsn, term uint64, body []byte) bool) (offset int64, last uint64, version int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, fmt.Errorf("wal: %w", err)
+		return 0, 0, 0, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
 
 	hdr := make([]byte, headerSize)
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		return 0, 0, fmt.Errorf("wal: segment %s: short header: %w", path, err)
+		return 0, 0, 0, fmt.Errorf("wal: segment %s: short header: %w", path, err)
 	}
-	if string(hdr[:len(segMagic)]) != segMagic {
-		return 0, 0, fmt.Errorf("wal: segment %s: bad magic", path)
+	switch string(hdr[:len(segMagic)]) {
+	case segMagicV1:
+		version = 1
+	case segMagic:
+		version = 2
+	default:
+		return 0, 0, 0, fmt.Errorf("wal: segment %s: bad magic", path)
 	}
 	if got := binary.BigEndian.Uint64(hdr[len(segMagic):]); got != declaredFirst {
-		return 0, 0, fmt.Errorf("wal: segment %s: header LSN %d does not match name", path, got)
+		return 0, 0, 0, fmt.Errorf("wal: segment %s: header LSN %d does not match name", path, got)
 	}
 
 	offset = int64(headerSize)
 	next := declaredFirst
+	var prevTerm uint64
 	var payload []byte
 	for {
-		lsn, body, n, err := readRecord(br, &payload)
+		lsn, term, body, n, err := readRecord(br, version, &payload)
 		if err == io.EOF {
-			return offset, last, nil
+			return offset, last, version, nil
 		}
 		if err != nil {
 			if !strict && errors.Is(err, errTornTail) {
-				return offset, last, nil
+				return offset, last, version, nil
 			}
-			return 0, 0, fmt.Errorf("wal: segment %s: offset %d: %w", path, offset, err)
+			return 0, 0, 0, fmt.Errorf("wal: segment %s: offset %d: %w", path, offset, err)
 		}
 		if lsn != next {
 			if !strict {
-				return offset, last, nil
+				return offset, last, version, nil
 			}
-			return 0, 0, fmt.Errorf("wal: segment %s: offset %d: LSN %d, want %d", path, offset, lsn, next)
+			return 0, 0, 0, fmt.Errorf("wal: segment %s: offset %d: LSN %d, want %d", path, offset, lsn, next)
 		}
-		if fn != nil && !fn(lsn, body) {
-			return offset + n, lsn, nil
+		if term < prevTerm {
+			return 0, 0, 0, fmt.Errorf("wal: segment %s: offset %d: LSN %d term %d regresses from %d", path, offset, lsn, term, prevTerm)
+		}
+		if fn != nil && !fn(lsn, term, body) {
+			return offset + n, lsn, version, nil
 		}
 		offset += n
 		last = lsn
 		next = lsn + 1
+		prevTerm = term
 	}
 }
 
 // readRecord reads one framed record, reusing *payload as scratch. It
 // returns io.EOF at a clean record boundary and errTornTail for a
-// truncated or checksum-failing record. The returned body aliases the
-// scratch buffer and is only valid until the next call.
-func readRecord(br *bufio.Reader, payload *[]byte) (lsn uint64, body []byte, size int64, err error) {
+// truncated or checksum-failing record. Legacy (version 1) payloads
+// carry no term varint and read back as term 1. The returned body
+// aliases the scratch buffer and is only valid until the next call.
+func readRecord(br *bufio.Reader, version int, payload *[]byte) (lsn, term uint64, body []byte, size int64, err error) {
 	var frame [frameSize]byte
 	if _, err := io.ReadFull(br, frame[:]); err != nil {
 		if err == io.EOF {
-			return 0, nil, 0, io.EOF
+			return 0, 0, nil, 0, io.EOF
 		}
-		return 0, nil, 0, fmt.Errorf("%w: short frame", errTornTail)
+		return 0, 0, nil, 0, fmt.Errorf("%w: short frame", errTornTail)
 	}
 	length := binary.BigEndian.Uint32(frame[0:4])
 	if length == 0 || length > MaxRecordBytes {
-		return 0, nil, 0, fmt.Errorf("%w: implausible record length %d", errTornTail, length)
+		return 0, 0, nil, 0, fmt.Errorf("%w: implausible record length %d", errTornTail, length)
 	}
 	if cap(*payload) < int(length) {
 		*payload = make([]byte, length)
 	}
 	buf := (*payload)[:length]
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return 0, nil, 0, fmt.Errorf("%w: short payload", errTornTail)
+		return 0, 0, nil, 0, fmt.Errorf("%w: short payload", errTornTail)
 	}
 	if got, want := crc32.Checksum(buf, castagnoli), binary.BigEndian.Uint32(frame[4:8]); got != want {
-		return 0, nil, 0, fmt.Errorf("%w: checksum mismatch", errTornTail)
+		return 0, 0, nil, 0, fmt.Errorf("%w: checksum mismatch", errTornTail)
 	}
 	lsn, n := binary.Uvarint(buf)
 	if n <= 0 {
-		return 0, nil, 0, fmt.Errorf("%w: bad LSN varint", errTornTail)
+		return 0, 0, nil, 0, fmt.Errorf("%w: bad LSN varint", errTornTail)
 	}
-	return lsn, buf[n:], frameSize + int64(length), nil
+	buf = buf[n:]
+	term = 1
+	if version >= 2 {
+		var tn int
+		term, tn = binary.Uvarint(buf)
+		if tn <= 0 || term == 0 {
+			return 0, 0, nil, 0, fmt.Errorf("%w: bad term varint", errTornTail)
+		}
+		buf = buf[tn:]
+	}
+	return lsn, term, buf, frameSize + int64(length), nil
 }
 
 // Replay streams every durable record with LSN > afterLSN, in order,
@@ -120,18 +146,18 @@ func (w *WAL) Replay(afterLSN uint64, fn func(r Record) error) error {
 	w.mu.Lock()
 	durable := w.durable
 	w.mu.Unlock()
-	return w.replayRaw(afterLSN, durable, func(lsn uint64, body []byte) error {
+	return w.replayRaw(afterLSN, durable, func(lsn, term uint64, body []byte) error {
 		d, derr := graph.DecodeDelta(body)
 		if derr != nil {
 			return fmt.Errorf("wal: record %d: %w", lsn, derr)
 		}
-		return fn(Record{LSN: lsn, Delta: d})
+		return fn(Record{LSN: lsn, Term: term, Delta: d})
 	})
 }
 
 // replayRaw scans the segment files for records in (afterLSN, durable],
 // in order. The body passed to fn aliases scan scratch — copy to retain.
-func (w *WAL) replayRaw(afterLSN, durable uint64, fn func(lsn uint64, body []byte) error) error {
+func (w *WAL) replayRaw(afterLSN, durable uint64, fn func(lsn, term uint64, body []byte) error) error {
 	w.mu.Lock()
 	segs := append([]segment(nil), w.segments...)
 	w.mu.Unlock()
@@ -149,14 +175,14 @@ func (w *WAL) replayRaw(afterLSN, durable uint64, fn func(lsn uint64, body []byt
 		// the durable bound, which the lsn > durable check below stops at
 		// anyway.
 		strict := i < len(segs)-1
-		_, last, err := scanSegment(s.path, s.first, strict, func(lsn uint64, body []byte) bool {
+		_, last, _, err := scanSegment(s.path, s.first, strict, func(lsn, term uint64, body []byte) bool {
 			if lsn <= afterLSN {
 				return true
 			}
 			if lsn > durable {
 				return false
 			}
-			if err := fn(lsn, body); err != nil {
+			if err := fn(lsn, term, body); err != nil {
 				ferr = err
 				return false
 			}
@@ -194,10 +220,11 @@ func (w *WAL) replayRaw(afterLSN, durable uint64, fn func(lsn uint64, body []byt
 // RawRecord is one durable record with its delta still in the encoded
 // wire form (graph.EncodeDelta) — what the WAL stores and what the
 // replication feed ships, so serving a follower never decodes and
-// re-encodes. The Delta bytes may alias internal storage: treat as
-// read-only.
+// re-encodes. Term is the promotion epoch the record was written under.
+// The Delta bytes may alias internal storage: treat as read-only.
 type RawRecord struct {
 	LSN   uint64
+	Term  uint64
 	Delta []byte
 }
 
@@ -231,7 +258,7 @@ func (w *WAL) SinceRaw(afterLSN uint64, max, maxBytes int) ([]RawRecord, uint64,
 				break
 			}
 			total += len(tr.delta)
-			out = append(out, RawRecord{LSN: tr.lsn, Delta: tr.delta})
+			out = append(out, RawRecord{LSN: tr.lsn, Term: tr.term, Delta: tr.delta})
 			if max > 0 && len(out) >= max {
 				break
 			}
@@ -243,12 +270,12 @@ func (w *WAL) SinceRaw(afterLSN uint64, max, maxBytes int) ([]RawRecord, uint64,
 
 	var out []RawRecord
 	total := 0
-	err := w.replayRaw(afterLSN, durable, func(lsn uint64, body []byte) error {
+	err := w.replayRaw(afterLSN, durable, func(lsn, term uint64, body []byte) error {
 		if maxBytes > 0 && len(out) > 0 && total+len(body) > maxBytes {
 			return errStopReplay
 		}
 		total += len(body)
-		out = append(out, RawRecord{LSN: lsn, Delta: append([]byte(nil), body...)})
+		out = append(out, RawRecord{LSN: lsn, Term: term, Delta: append([]byte(nil), body...)})
 		if max > 0 && len(out) >= max {
 			return errStopReplay
 		}
@@ -272,9 +299,41 @@ func (w *WAL) Since(afterLSN uint64, max int) ([]Record, uint64, error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("wal: record %d: %w", r.LSN, err)
 		}
-		out[i] = Record{LSN: r.LSN, Delta: d}
+		out[i] = Record{LSN: r.LSN, Term: r.Term, Delta: d}
 	}
 	return out, durable, nil
+}
+
+// TermAt returns the term of the durable record at lsn, or ok=false
+// when the log does not hold it (never appended, not yet durable, or
+// truncated away). The fencing history check uses it to compare a
+// follower's view of a given LSN with the log's. The hot case — lsn
+// within the in-memory tail — is O(1); older positions scan segments.
+func (w *WAL) TermAt(lsn uint64) (term uint64, ok bool) {
+	w.mu.Lock()
+	if lsn == 0 || lsn > w.durable {
+		w.mu.Unlock()
+		return 0, false
+	}
+	if len(w.tail) > 0 && w.tail[0].lsn <= lsn {
+		// The tail is contiguous by construction: direct index.
+		tr := w.tail[lsn-w.tail[0].lsn]
+		w.mu.Unlock()
+		return tr.term, true
+	}
+	durable := w.durable
+	w.mu.Unlock()
+
+	err := w.replayRaw(lsn-1, durable, func(l, t uint64, body []byte) error {
+		if l == lsn {
+			term, ok = t, true
+		}
+		return errStopReplay
+	})
+	if err != nil && !errors.Is(err, errStopReplay) {
+		return 0, false
+	}
+	return term, ok
 }
 
 // errStopReplay is the internal early-exit sentinel of bounded reads.

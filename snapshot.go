@@ -87,7 +87,28 @@ func loadLSN(s *snapshot) uint64 {
 // epoch, so it is safe to call concurrently with queries, training, and
 // updates — it simply snapshots whichever epoch is serving.
 func (e *Engine) Save(w io.Writer) error {
+	return e.saveEpoch(e.cur.Load(), w)
+}
+
+// SaveWait is Save with a durability gate for write-ahead-logged
+// engines: the epoch to stream is pinned FIRST, wait is called with
+// that epoch's LSN, and only after it returns is anything written.
+// With wait = the WAL's WaitDurable this guarantees the snapshot never
+// gets ahead of the durable log — without the gate, a pipelined commit
+// (apply visible before fsync completes) could hand a bootstrapping
+// follower state the primary loses in a crash, and the LSNs would be
+// silently reassigned to different records under it.
+func (e *Engine) SaveWait(w io.Writer, wait func(lsn uint64) error) error {
 	ep := e.cur.Load()
+	if wait != nil {
+		if err := wait(ep.lsn); err != nil {
+			return fmt.Errorf("semprox: snapshot durability gate at LSN %d: %w", ep.lsn, err)
+		}
+	}
+	return e.saveEpoch(ep, w)
+}
+
+func (e *Engine) saveEpoch(ep *epoch, w io.Writer) error {
 	var gbuf bytes.Buffer
 	if err := graph.Write(&gbuf, ep.g); err != nil {
 		return fmt.Errorf("semprox: snapshot graph: %w", err)
