@@ -42,7 +42,6 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -55,7 +54,6 @@ import (
 	"time"
 
 	semprox "repro"
-	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/graph"
@@ -63,6 +61,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/metagraph"
 	"repro/internal/mining"
+	"repro/internal/report"
 	"repro/internal/wal"
 )
 
@@ -337,23 +336,10 @@ func makeRun(workers int, best, serialBest time.Duration) run {
 	}
 }
 
-// emit writes the report to path, staging through a temp file and renaming
-// so a failed run never leaves a partial JSON behind. "-" prints to stdout.
-func emit(path string, report any) error {
-	js, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	js = append(js, '\n')
-	if path == "-" {
-		_, err := os.Stdout.Write(js)
-		return err
-	}
-	if err := atomicfile.Write(path, js); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
-	return nil
+// emit writes the report to path through the shared trajectory plumbing
+// (internal/report): atomic temp+rename, "-" prints to stdout.
+func emit(path string, rep any) error {
+	return report.EmitJSON(path, rep)
 }
 
 // updateReport is the BENCH_update.json shape.

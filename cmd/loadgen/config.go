@@ -1,0 +1,414 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/api"
+)
+
+// The scenario suite is declared in a loadgen.toml in the style of
+// golang/benchmarks' suites.toml: a [defaults] table plus one [[scenario]]
+// table per workload. The repo is std-lib only, so config.go implements
+// the small TOML subset the suite needs — tables, array-of-tables
+// headers, and `key = value` lines where a value is a quoted string, an
+// integer, a float, a bool, or a flat array of those — with unknown keys
+// rejected loudly so a typo cannot silently run a default workload.
+
+// Config is one parsed suite.
+type Config struct {
+	Defaults  Defaults
+	Scenarios []Scenario
+}
+
+// Defaults configures the target stack and the measurement windows shared
+// by every scenario.
+type Defaults struct {
+	Users     int           // self-hosted dataset size (and user-N name space)
+	Class     string        // trained proximity class queries run against
+	Followers int           // self-hosted follower count behind the router
+	Duration  time.Duration // measured window per swept rate
+	Warmup    time.Duration // discarded open-loop warmup before each window
+	SLOP99    time.Duration // a rate is sustainable while p99 stays under this
+	Seed      int64         // base seed for the Poisson schedules
+}
+
+// Scenario is one open-loop workload: a request mix fired at each swept
+// arrival rate.
+type Scenario struct {
+	Name      string
+	Rates     []int         // swept Poisson arrival rates, requests/s
+	GateRate  int           // the single rate smoke and gate runs measure
+	K         int           // top-k for query/batch operations
+	BatchSize int           // queries per batch operation
+	SLOP99    time.Duration // per-scenario SLO override (0 = defaults)
+	Mix       Mix
+}
+
+// Mix is the operation mix as relative weights (normalized at draw time).
+type Mix struct {
+	Query     float64 // single routed /v1/query
+	Update    float64 // routed /v1/update (pins to the primary)
+	Proximity float64 // routed /v1/proximity pair score
+	Batch     float64 // routed batched /v1/query of BatchSize names
+}
+
+func (m Mix) total() float64 { return m.Query + m.Update + m.Proximity + m.Batch }
+
+// Map renders the mix for the report, dropping zero weights.
+func (m Mix) Map() map[string]float64 {
+	out := map[string]float64{}
+	for k, w := range map[string]float64{
+		"query": m.Query, "update": m.Update, "proximity": m.Proximity, "batch": m.Batch,
+	} {
+		if w > 0 {
+			out[k] = w
+		}
+	}
+	return out
+}
+
+// LoadConfig reads and validates a suite file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := parseConfig(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// parseConfig parses the suite text and applies defaulting + validation.
+func parseConfig(text string) (*Config, error) {
+	cfg := &Config{Defaults: Defaults{
+		Users:     200,
+		Class:     "college",
+		Followers: 2,
+		Duration:  3 * time.Second,
+		Warmup:    300 * time.Millisecond,
+		SLOP99:    50 * time.Millisecond,
+		Seed:      1,
+	}}
+	section := "" // "", "defaults", or "scenario"
+	var cur *Scenario
+
+	for ln, raw := range strings.Split(text, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "[["):
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "[["), "]]"))
+			if name != "scenario" || !strings.HasSuffix(line, "]]") {
+				return nil, fail("unknown table array %q (only [[scenario]] exists)", line)
+			}
+			cfg.Scenarios = append(cfg.Scenarios, Scenario{})
+			cur = &cfg.Scenarios[len(cfg.Scenarios)-1]
+			section = "scenario"
+		case strings.HasPrefix(line, "["):
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "["), "]"))
+			if name != "defaults" || !strings.HasSuffix(line, "]") {
+				return nil, fail("unknown table %q (only [defaults] exists)", line)
+			}
+			section = "defaults"
+		default:
+			key, val, err := parseKV(line)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			switch section {
+			case "defaults":
+				err = cfg.Defaults.set(key, val)
+			case "scenario":
+				err = cur.set(key, val)
+			default:
+				err = fmt.Errorf("key %q outside any table", key)
+			}
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// stripComment trims whitespace and removes a trailing # comment that is
+// not inside a quoted string.
+func stripComment(line string) string {
+	inStr := false
+	for i, r := range line {
+		switch r {
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return strings.TrimSpace(line[:i])
+			}
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+// parseKV splits `key = value` and parses the value.
+func parseKV(line string) (string, any, error) {
+	key, rest, ok := strings.Cut(line, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("expected key = value, got %q", line)
+	}
+	key = strings.TrimSpace(key)
+	val, err := parseValue(strings.TrimSpace(rest))
+	if err != nil {
+		return "", nil, fmt.Errorf("key %q: %w", key, err)
+	}
+	return key, val, nil
+}
+
+// parseValue parses one scalar or flat array.
+func parseValue(s string) (any, error) {
+	switch {
+	case s == "":
+		return nil, fmt.Errorf("empty value")
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case strings.HasPrefix(s, `"`):
+		if len(s) < 2 || !strings.HasSuffix(s, `"`) {
+			return nil, fmt.Errorf("unterminated string %s", s)
+		}
+		body := s[1 : len(s)-1]
+		if strings.Contains(body, `"`) {
+			return nil, fmt.Errorf("escapes are not supported in %s", s)
+		}
+		return body, nil
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("unterminated array %s", s)
+		}
+		var out []any
+		body := strings.TrimSpace(s[1 : len(s)-1])
+		if body == "" {
+			return out, nil
+		}
+		for _, el := range strings.Split(body, ",") {
+			v, err := parseValue(strings.TrimSpace(el))
+			if err != nil {
+				return nil, err
+			}
+			if _, nested := v.([]any); nested {
+				return nil, fmt.Errorf("nested arrays are not supported")
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	default:
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return i, nil
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return f, nil
+		}
+		return nil, fmt.Errorf("unparsable value %q (strings must be quoted)", s)
+	}
+}
+
+// Typed accessors: each converts or errors with the key name attached.
+
+func asInt(key string, v any) (int, error) {
+	i, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("%s: want an integer, got %T", key, v)
+	}
+	return int(i), nil
+}
+
+func asString(key string, v any) (string, error) {
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("%s: want a quoted string, got %T", key, v)
+	}
+	return s, nil
+}
+
+func asDuration(key string, v any) (time.Duration, error) {
+	s, err := asString(key, v)
+	if err != nil {
+		return 0, err
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("%s: %q is not a non-negative duration", key, s)
+	}
+	return d, nil
+}
+
+func asWeight(key string, v any) (float64, error) {
+	switch t := v.(type) {
+	case int64:
+		v = float64(t)
+	case float64:
+	default:
+		return 0, fmt.Errorf("%s: want a number, got %T", key, v)
+	}
+	f := v.(float64)
+	if f < 0 {
+		return 0, fmt.Errorf("%s: weight must be non-negative", key)
+	}
+	return f, nil
+}
+
+func asIntSlice(key string, v any) ([]int, error) {
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: want an array of integers, got %T", key, v)
+	}
+	out := make([]int, 0, len(arr))
+	for _, el := range arr {
+		i, ok := el.(int64)
+		if !ok {
+			return nil, fmt.Errorf("%s: want integers, got %T", key, el)
+		}
+		out = append(out, int(i))
+	}
+	return out, nil
+}
+
+func (d *Defaults) set(key string, v any) (err error) {
+	switch key {
+	case "users":
+		d.Users, err = asInt(key, v)
+	case "class":
+		d.Class, err = asString(key, v)
+	case "followers":
+		d.Followers, err = asInt(key, v)
+	case "duration":
+		d.Duration, err = asDuration(key, v)
+	case "warmup":
+		d.Warmup, err = asDuration(key, v)
+	case "slo_p99":
+		d.SLOP99, err = asDuration(key, v)
+	case "seed":
+		var i int
+		i, err = asInt(key, v)
+		d.Seed = int64(i)
+	default:
+		err = fmt.Errorf("unknown [defaults] key %q", key)
+	}
+	return err
+}
+
+func (s *Scenario) set(key string, v any) (err error) {
+	switch key {
+	case "name":
+		s.Name, err = asString(key, v)
+	case "rates":
+		s.Rates, err = asIntSlice(key, v)
+	case "gate_rate":
+		s.GateRate, err = asInt(key, v)
+	case "k":
+		s.K, err = asInt(key, v)
+	case "batch_size":
+		s.BatchSize, err = asInt(key, v)
+	case "slo_p99":
+		s.SLOP99, err = asDuration(key, v)
+	case "query":
+		s.Mix.Query, err = asWeight(key, v)
+	case "update":
+		s.Mix.Update, err = asWeight(key, v)
+	case "proximity":
+		s.Mix.Proximity, err = asWeight(key, v)
+	case "batch":
+		s.Mix.Batch, err = asWeight(key, v)
+	default:
+		err = fmt.Errorf("unknown [[scenario]] key %q", key)
+	}
+	return err
+}
+
+// validate applies per-scenario defaulting and rejects suites that could
+// not run or would lie (no rates, unreachable gate rate, empty mix).
+func (c *Config) validate() error {
+	d := &c.Defaults
+	if d.Users < 10 {
+		return fmt.Errorf("defaults.users = %d: need at least 10", d.Users)
+	}
+	if d.Followers < 0 || d.Class == "" || d.Duration <= 0 || d.SLOP99 <= 0 {
+		return fmt.Errorf("defaults: followers/class/duration/slo_p99 must be set and positive")
+	}
+	if len(c.Scenarios) == 0 {
+		return fmt.Errorf("no [[scenario]] tables")
+	}
+	seen := map[string]bool{}
+	for i := range c.Scenarios {
+		s := &c.Scenarios[i]
+		if s.Name == "" {
+			return fmt.Errorf("scenario %d: missing name", i+1)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("scenario %q declared twice", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Mix.total() <= 0 {
+			return fmt.Errorf("scenario %q: empty operation mix", s.Name)
+		}
+		if len(s.Rates) == 0 {
+			return fmt.Errorf("scenario %q: no rates", s.Name)
+		}
+		sort.Ints(s.Rates)
+		if s.Rates[0] < 1 {
+			return fmt.Errorf("scenario %q: rates must be >= 1", s.Name)
+		}
+		if s.GateRate == 0 {
+			s.GateRate = s.Rates[0]
+		}
+		if !containsInt(s.Rates, s.GateRate) {
+			// The gate compares against the committed row at this rate, so
+			// the full sweep must always measure it.
+			s.Rates = append([]int{s.GateRate}, s.Rates...)
+			sort.Ints(s.Rates)
+		}
+		if s.K == 0 {
+			s.K = api.DefaultK
+		}
+		if s.K < 1 {
+			return fmt.Errorf("scenario %q: k must be >= 1", s.Name)
+		}
+		if s.SLOP99 == 0 {
+			s.SLOP99 = d.SLOP99
+		}
+		if s.Mix.Batch > 0 {
+			if s.BatchSize == 0 {
+				s.BatchSize = 8
+			}
+			if s.BatchSize < 2 || s.BatchSize > api.MaxBatch {
+				return fmt.Errorf("scenario %q: batch_size %d outside [2, %d]", s.Name, s.BatchSize, api.MaxBatch)
+			}
+		} else if s.BatchSize != 0 {
+			return fmt.Errorf("scenario %q: batch_size set but the batch weight is zero", s.Name)
+		}
+	}
+	return nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseCommittedSuite(t *testing.T) {
+	cfg, err := LoadConfig("../../loadgen.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Scenarios) < 3 {
+		t.Fatalf("committed suite has %d scenarios, the load trajectory needs >= 3", len(cfg.Scenarios))
+	}
+	if cfg.Defaults.Class == "" || cfg.Defaults.Users < 10 {
+		t.Fatalf("bad defaults: %+v", cfg.Defaults)
+	}
+	for _, sc := range cfg.Scenarios {
+		if sc.GateRate == 0 || !containsInt(sc.Rates, sc.GateRate) {
+			t.Fatalf("scenario %q: gate rate %d not in sweep %v", sc.Name, sc.GateRate, sc.Rates)
+		}
+		if sc.SLOP99 <= 0 || sc.K < 1 || sc.Mix.total() <= 0 {
+			t.Fatalf("scenario %q under-defaulted: %+v", sc.Name, sc)
+		}
+	}
+}
+
+func TestParseConfigFull(t *testing.T) {
+	cfg, err := parseConfig(`
+# comment
+[defaults]
+users = 50
+class = "college"   # trailing comment
+followers = 1
+duration = "2s"
+warmup = "100ms"
+slo_p99 = "40ms"
+seed = 9
+
+[[scenario]]
+name = "reads"
+query = 1.0
+rates = [300, 100, 200]
+gate_rate = 150
+
+[[scenario]]
+name = "mix"
+query = 3
+update = 1
+batch = 0.5
+batch_size = 4
+slo_p99 = "80ms"
+k = 3
+rates = [50]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cfg.Defaults
+	if d.Users != 50 || d.Followers != 1 || d.Duration != 2*time.Second ||
+		d.Warmup != 100*time.Millisecond || d.SLOP99 != 40*time.Millisecond || d.Seed != 9 {
+		t.Fatalf("defaults drifted: %+v", d)
+	}
+	reads := cfg.Scenarios[0]
+	if got := reads.Rates; len(got) != 4 || got[0] != 100 || got[1] != 150 || got[2] != 200 || got[3] != 300 {
+		t.Fatalf("rates not sorted with the gate rate folded in: %v", got)
+	}
+	if reads.SLOP99 != 40*time.Millisecond || reads.K != 10 {
+		t.Fatalf("reads under-defaulted: %+v", reads)
+	}
+	mix := cfg.Scenarios[1]
+	if mix.GateRate != 50 || mix.SLOP99 != 80*time.Millisecond || mix.K != 3 || mix.BatchSize != 4 {
+		t.Fatalf("mix scenario drifted: %+v", mix)
+	}
+	if w := mix.Mix.Map(); w["query"] != 3 || w["update"] != 1 || w["batch"] != 0.5 || len(w) != 3 {
+		t.Fatalf("mix map drifted: %v", w)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	base := `
+[defaults]
+class = "college"
+[[scenario]]
+name = "ok"
+query = 1.0
+rates = [100]
+`
+	cases := map[string]string{
+		"unknown defaults key":   "[defaults]\nbogus = 1\n" + base,
+		"unknown scenario key":   base + "\nbogus = 1\n",
+		"unknown table":          "[nope]\n" + base,
+		"unknown table array":    "[[nope]]\n" + base,
+		"key outside tables":     "users = 5\n" + base,
+		"missing equals":         base + "\njust words\n",
+		"unquoted string":        base + "\nname = unquoted\n",
+		"unterminated string":    base + "\nname = \"open\n",
+		"unterminated array":     base + "\nrates = [1, 2\n",
+		"nested array":           base + "\nrates = [[1]]\n",
+		"negative weight":        base + "\nquery = -1\n",
+		"bad duration":           base + "\nslo_p99 = \"fast\"\n",
+		"non-integer rate":       base + "\nrates = [1.5]\n",
+		"duplicate name":         base + "\n[[scenario]]\nname = \"ok\"\nquery = 1.0\nrates = [1]\n",
+		"no scenarios":           "[defaults]\nusers = 50\n",
+		"empty mix":              "[defaults]\nusers = 50\n[[scenario]]\nname = \"x\"\nrates = [1]\n",
+		"no rates":               "[defaults]\nusers = 50\n[[scenario]]\nname = \"x\"\nquery = 1.0\n",
+		"zero rate":              base + "\n[[scenario]]\nname = \"z\"\nquery = 1.0\nrates = [0]\n",
+		"tiny users":             "[defaults]\nusers = 2\n" + base,
+		"batch size without mix": base + "\n[[scenario]]\nname = \"b\"\nquery = 1.0\nrates = [1]\nbatch_size = 4\n",
+		"batch size too big":     base + "\n[[scenario]]\nname = \"b\"\nbatch = 1.0\nrates = [1]\nbatch_size = 100000\n",
+	}
+	for name, text := range cases {
+		if _, err := parseConfig(text); err == nil {
+			t.Errorf("%s: config accepted:\n%s", name, text)
+		}
+	}
+}
+
+func TestParseConfigDefaultsBatchSizeAndGateRate(t *testing.T) {
+	cfg, err := parseConfig(`
+[defaults]
+users = 50
+[[scenario]]
+name = "b"
+batch = 1.0
+rates = [20, 10]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := cfg.Scenarios[0]
+	if sc.BatchSize != 8 {
+		t.Fatalf("batch_size not defaulted: %d", sc.BatchSize)
+	}
+	if sc.GateRate != 10 {
+		t.Fatalf("gate rate should default to the lowest swept rate, got %d", sc.GateRate)
+	}
+}
+
+func TestStripComment(t *testing.T) {
+	for in, want := range map[string]string{
+		`key = "a#b" # real comment`: `key = "a#b"`,
+		"   # only comment":          "",
+		"plain = 1":                  "plain = 1",
+	} {
+		if got := stripComment(in); got != want {
+			t.Errorf("stripComment(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseValueScalars(t *testing.T) {
+	for in, want := range map[string]any{
+		"true":     true,
+		"false":    false,
+		"42":       int64(42),
+		"-3":       int64(-3),
+		"2.5":      2.5,
+		`"text"`:   "text",
+		`[1, 2]`:   []any{int64(1), int64(2)},
+		`[]`:       []any(nil),
+		`["a"]`:    []any{"a"},
+		`[1, "a"]`: []any{int64(1), "a"},
+	} {
+		got, err := parseValue(in)
+		if err != nil {
+			t.Errorf("parseValue(%q): %v", in, err)
+			continue
+		}
+		if !equalAny(got, want) {
+			t.Errorf("parseValue(%q) = %#v, want %#v", in, got, want)
+		}
+	}
+}
+
+func equalAny(a, b any) bool {
+	as, aok := a.([]any)
+	bs, bok := b.([]any)
+	if aok != bok {
+		return false
+	}
+	if !aok {
+		return a == b
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestErrorsNameTheLine(t *testing.T) {
+	_, err := parseConfig("[defaults]\nusers = 50\nbroken line\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("parse error does not name the line: %v", err)
+	}
+}

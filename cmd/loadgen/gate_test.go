@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/loadstats"
+)
+
+func mkReport(name string, gateRate int, p99 float64, errs int) *Report {
+	return &Report{
+		Benchmark: "open_loop_load",
+		Scenarios: []ScenarioResult{{
+			Name:        name,
+			GateRateQPS: gateRate,
+			Rates: []RateRow{{
+				RateQPS: gateRate,
+				Sent:    100,
+				Errors:  errs,
+				Latency: loadstats.Summary{Count: uint64(100 - errs), P50Ms: p99 / 2, P99Ms: p99, P999Ms: p99, MaxMs: p99},
+			}},
+		}},
+	}
+}
+
+func TestCompareGatePassAndFail(t *testing.T) {
+	base := mkReport("reads", 100, 10, 0)
+
+	checks, err := compareGate(base, mkReport("reads", 100, 29, 0), 3, 0)
+	if err != nil || len(checks) != 1 || !checks[0].OK {
+		t.Fatalf("fresh p99 under base*3 should pass: %+v, %v", checks, err)
+	}
+
+	checks, err = compareGate(base, mkReport("reads", 100, 31, 0), 3, 0)
+	if err != nil || checks[0].OK {
+		t.Fatalf("fresh p99 over base*3 should fail: %+v, %v", checks, err)
+	}
+
+	// The additive slack rescues near-zero baselines from demanding
+	// sub-noise latency.
+	tiny := mkReport("reads", 100, 0.01, 0)
+	checks, err = compareGate(tiny, mkReport("reads", 100, 5, 0), 3, 25*time.Millisecond)
+	if err != nil || !checks[0].OK {
+		t.Fatalf("slack should absorb noise on a near-zero baseline: %+v, %v", checks, err)
+	}
+
+	// Errors in the fresh run fail the gate even with a fine p99.
+	checks, err = compareGate(base, mkReport("reads", 100, 1, 5), 3, 0)
+	if err != nil || checks[0].OK {
+		t.Fatalf("request errors must fail the gate: %+v, %v", checks, err)
+	}
+}
+
+func TestCompareGateStructuralErrors(t *testing.T) {
+	base := mkReport("reads", 100, 10, 0)
+
+	if _, err := compareGate(base, mkReport("writes", 100, 1, 0), 3, 0); err == nil ||
+		!strings.Contains(err.Error(), "missing from the fresh run") {
+		t.Fatalf("missing fresh scenario must fail loudly: %v", err)
+	}
+
+	noRow := mkReport("reads", 100, 10, 0)
+	noRow.Scenarios[0].Rates[0].RateQPS = 999 // baseline row not at its gate rate
+	if _, err := compareGate(noRow, mkReport("reads", 100, 1, 0), 3, 0); err == nil ||
+		!strings.Contains(err.Error(), "regenerate") {
+		t.Fatalf("baseline without its gate-rate row must fail loudly: %v", err)
+	}
+
+	freshOff := mkReport("reads", 200, 1, 0) // fresh measured a different rate
+	if _, err := compareGate(base, freshOff, 3, 0); err == nil {
+		t.Fatal("fresh run missing the baseline gate rate must fail loudly")
+	}
+}
+
+func TestCheckSmoke(t *testing.T) {
+	good := mkReport("reads", 100, 10, 0)
+	if err := checkSmoke(good); err != nil {
+		t.Fatalf("clean smoke flagged: %v", err)
+	}
+
+	withErrs := mkReport("reads", 100, 10, 0)
+	withErrs.Scenarios[0].Rates[0].Errors = 1
+	withErrs.Scenarios[0].Rates[0].Latency.Count = 99
+	if err := checkSmoke(withErrs); err == nil {
+		t.Fatal("smoke with request errors must fail")
+	}
+
+	empty := mkReport("reads", 100, 10, 0)
+	empty.Scenarios[0].Rates[0].Latency.Count = 0
+	if err := checkSmoke(empty); err == nil {
+		t.Fatal("smoke with no completions must fail")
+	}
+
+	lost := mkReport("reads", 100, 10, 0)
+	lost.Scenarios[0].Rates[0].Latency.Count = 50 // sent 100, measured 50, 0 errors
+	if err := checkSmoke(lost); err == nil {
+		t.Fatal("smoke losing measurements must fail")
+	}
+
+	warped := mkReport("reads", 100, 10, 0)
+	warped.Scenarios[0].Rates[0].Latency.P50Ms = 99 // above p99
+	if err := checkSmoke(warped); err == nil {
+		t.Fatal("non-monotone percentiles must fail")
+	}
+}

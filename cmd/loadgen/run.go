@@ -1,0 +1,293 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+	"repro/internal/loadstats"
+)
+
+// Report is the BENCH_load.json shape: one scenario block per workload,
+// one row per swept arrival rate, percentiles from internal/loadstats.
+type Report struct {
+	Benchmark  string           `json:"benchmark"`
+	Mode       string           `json:"mode"` // full | smoke | gate
+	Config     string           `json:"config"`
+	Target     string           `json:"target"`
+	Arrivals   string           `json:"arrivals"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Timestamp  time.Time        `json:"timestamp"`
+	Scenarios  []ScenarioResult `json:"scenarios"`
+}
+
+// ScenarioResult is one workload's sweep.
+type ScenarioResult struct {
+	Name              string             `json:"name"`
+	Mix               map[string]float64 `json:"mix"`
+	K                 int                `json:"k,omitempty"`
+	BatchSize         int                `json:"batch_size,omitempty"`
+	SLOP99Ms          float64            `json:"slo_p99_ms"`
+	GateRateQPS       int                `json:"gate_rate_qps"`
+	MaxSustainableQPS int                `json:"max_sustainable_qps"`
+	Rates             []RateRow          `json:"rates"`
+}
+
+// RateRow is one open-loop measurement window at one arrival rate.
+// Latency is send-scheduled: each request's clock starts at its Poisson
+// arrival time, not at the moment the generator got around to sending it,
+// so a stalled server inherits the queueing delay of every request behind
+// the stall instead of silently thinning the sample (coordinated
+// omission).
+type RateRow struct {
+	RateQPS     int               `json:"rate_qps"`
+	WindowMs    float64           `json:"window_ms"`
+	Sent        int               `json:"sent"`
+	Errors      int               `json:"errors"`
+	FirstError  string            `json:"first_error,omitempty"`
+	AchievedQPS float64           `json:"achieved_qps"`
+	SLOMet      bool              `json:"slo_met"`
+	Latency     loadstats.Summary `json:"latency"`
+}
+
+// opDraw is one scheduled operation with every random choice pre-drawn on
+// the dispatcher goroutine, so the schedule is a pure function of the seed.
+type opDraw func(ctx context.Context) error
+
+// updateSeq numbers update-op node names process-wide so concurrent
+// scenarios never collide on a name.
+var updateSeq atomic.Uint64
+
+// drawOp picks the next operation per the scenario mix and binds its
+// arguments from rng (dispatcher-side, deterministic).
+func drawOp(rng *rand.Rand, tgt *target, sc *Scenario) opDraw {
+	pick := rng.Float64() * sc.Mix.total()
+	name := tgt.names[rng.Intn(len(tgt.names))]
+	switch {
+	case pick < sc.Mix.Query:
+		return func(ctx context.Context) error {
+			_, err := tgt.router.Query(ctx, tgt.class, name, sc.K)
+			return err
+		}
+	case pick < sc.Mix.Query+sc.Mix.Update:
+		n := updateSeq.Add(1)
+		return func(ctx context.Context) error {
+			added := fmt.Sprintf("load-%d", n)
+			_, err := tgt.router.Update(ctx, api.UpdateRequest{
+				Nodes: []api.UpdateNode{{Type: "user", Name: added}},
+				Edges: []api.UpdateEdge{{U: added, V: name}},
+			})
+			return err
+		}
+	case pick < sc.Mix.Query+sc.Mix.Update+sc.Mix.Proximity:
+		other := tgt.names[rng.Intn(len(tgt.names))]
+		return func(ctx context.Context) error {
+			_, err := tgt.router.Proximity(ctx, tgt.class, name, other)
+			return err
+		}
+	default:
+		batch := make([]string, sc.BatchSize)
+		for i := range batch {
+			batch[i] = tgt.names[rng.Intn(len(tgt.names))]
+		}
+		return func(ctx context.Context) error {
+			_, err := tgt.router.QueryBatch(ctx, tgt.class, batch, sc.K)
+			return err
+		}
+	}
+}
+
+// openLoop fires one Poisson arrival stream at rate req/s for the window
+// and measures send-scheduled latency. The dispatcher never waits for a
+// response: every arrival runs on its own goroutine, so a slow server
+// faces the full configured rate (open loop), and a request dispatched
+// late — because the server stalled or the generator fell behind — is
+// charged from its scheduled arrival time.
+func openLoop(ctx context.Context, tgt *target, sc *Scenario, rate int, window time.Duration, seed int64) RateRow {
+	rng := rand.New(rand.NewSource(seed))
+	hist := loadstats.New()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	var firstErr atomic.Value
+
+	start := time.Now()
+	var offset time.Duration
+	sent := 0
+	for {
+		offset += time.Duration(rng.ExpFloat64() * float64(time.Second) / float64(rate))
+		if offset > window || ctx.Err() != nil {
+			break
+		}
+		op := drawOp(rng, tgt, sc)
+		sched := start.Add(offset)
+		time.Sleep(time.Until(sched))
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := op(ctx)
+			lat := time.Since(sched)
+			if err != nil {
+				errs.Add(1)
+				firstErr.CompareAndSwap(nil, err.Error())
+				return
+			}
+			mu.Lock()
+			hist.RecordDuration(lat)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	row := RateRow{
+		RateQPS:  rate,
+		WindowMs: float64(window.Milliseconds()),
+		Sent:     sent,
+		Errors:   int(errs.Load()),
+		Latency:  hist.Summarize(),
+	}
+	if e, ok := firstErr.Load().(string); ok {
+		row.FirstError = e
+	}
+	if elapsed > 0 {
+		row.AchievedQPS = float64(sent) / elapsed.Seconds()
+	}
+	row.SLOMet = row.Errors == 0 && row.Latency.P99Ms <= float64(sc.SLOP99.Milliseconds())
+	return row
+}
+
+// runScenario sweeps one scenario. In full mode every configured rate is
+// measured in ascending order until the SLO breaks (open-loop queueing
+// only gets worse above the knee, so higher rates are reported as beyond
+// max-sustainable rather than measured); smoke and gate modes measure
+// only the gate rate with the given window. Each window is preceded by a
+// discarded warmup at the same rate.
+func runScenario(ctx context.Context, tgt *target, sc *Scenario, def Defaults, mode string, window time.Duration) (ScenarioResult, error) {
+	res := ScenarioResult{
+		Name:        sc.Name,
+		Mix:         sc.Mix.Map(),
+		K:           sc.K,
+		BatchSize:   sc.BatchSize,
+		SLOP99Ms:    float64(sc.SLOP99.Milliseconds()),
+		GateRateQPS: sc.GateRate,
+	}
+	rates := sc.Rates
+	if mode != modeFull {
+		rates = []int{sc.GateRate}
+	}
+	for _, rate := range rates {
+		if def.Warmup > 0 {
+			openLoop(ctx, tgt, sc, rate, def.Warmup, def.Seed+int64(rate)*7919+1)
+		}
+		row := openLoop(ctx, tgt, sc, rate, window, def.Seed+int64(rate)*7919)
+		if row.Sent == 0 {
+			return res, fmt.Errorf("scenario %q rate %d: nothing was sent (window too short for the rate)", sc.Name, rate)
+		}
+		res.Rates = append(res.Rates, row)
+		fmt.Printf("load    %-12s rate=%-5d sent=%-6d errs=%-3d p50=%7.2fms p99=%7.2fms p99.9=%7.2fms max=%7.2fms%s\n",
+			sc.Name, rate, row.Sent, row.Errors, row.Latency.P50Ms, row.Latency.P99Ms,
+			row.Latency.P999Ms, row.Latency.MaxMs, sloMark(row))
+		if row.SLOMet {
+			res.MaxSustainableQPS = rate
+		} else if mode == modeFull {
+			break
+		}
+	}
+	return res, nil
+}
+
+func sloMark(row RateRow) string {
+	if row.SLOMet {
+		return ""
+	}
+	return "  [SLO broken]"
+}
+
+// checkSmoke validates a smoke run's internal consistency: every scenario
+// completed requests without a single error, and its percentile slate is
+// monotone. It is the "did the harness and the stack actually work"
+// cross-check, run without touching committed files.
+func checkSmoke(rep *Report) error {
+	for _, sc := range rep.Scenarios {
+		for _, row := range sc.Rates {
+			l := row.Latency
+			switch {
+			case row.Errors > 0:
+				return fmt.Errorf("smoke: scenario %q rate %d: %d errors (first: %s)", sc.Name, row.RateQPS, row.Errors, row.FirstError)
+			case l.Count == 0:
+				return fmt.Errorf("smoke: scenario %q rate %d: no completions", sc.Name, row.RateQPS)
+			case int(l.Count) != row.Sent:
+				return fmt.Errorf("smoke: scenario %q rate %d: %d sent but %d measured", sc.Name, row.RateQPS, row.Sent, l.Count)
+			case !(l.P50Ms <= l.P99Ms && l.P99Ms <= l.P999Ms && l.P999Ms <= l.MaxMs):
+				return fmt.Errorf("smoke: scenario %q rate %d: percentiles not monotone: %+v", sc.Name, row.RateQPS, l)
+			}
+		}
+	}
+	return nil
+}
+
+// gateCheck is one scenario's baseline-vs-fresh p99 comparison.
+type gateCheck struct {
+	Scenario   string
+	RateQPS    int
+	BaseP99Ms  float64
+	FreshP99Ms float64
+	LimitMs    float64
+	OK         bool
+}
+
+// compareGate checks a fresh gate run against the committed baseline: for
+// every baseline scenario, the fresh p99 at the gate rate must stay under
+// baseline_p99*mult + slack. The multiplicative term absorbs
+// machine-to-machine speed differences, the additive term keeps a
+// near-zero baseline from demanding sub-noise latency; both are explicit
+// so a regression verdict is always explainable from the report files.
+// A fresh scenario with request errors fails outright, and a baseline
+// scenario missing from the fresh run fails loudly instead of silently
+// shrinking the gate.
+func compareGate(base, fresh *Report, mult float64, slack time.Duration) ([]gateCheck, error) {
+	freshByName := map[string]*ScenarioResult{}
+	for i := range fresh.Scenarios {
+		freshByName[fresh.Scenarios[i].Name] = &fresh.Scenarios[i]
+	}
+	var checks []gateCheck
+	for _, bs := range base.Scenarios {
+		fs, ok := freshByName[bs.Name]
+		if !ok {
+			return nil, fmt.Errorf("gate: baseline scenario %q missing from the fresh run (config drifted from BENCH_load.json?)", bs.Name)
+		}
+		baseRow := findRate(bs.Rates, bs.GateRateQPS)
+		if baseRow == nil {
+			return nil, fmt.Errorf("gate: baseline scenario %q has no row at its gate rate %d — regenerate BENCH_load.json", bs.Name, bs.GateRateQPS)
+		}
+		freshRow := findRate(fs.Rates, bs.GateRateQPS)
+		if freshRow == nil {
+			return nil, fmt.Errorf("gate: fresh run of %q has no row at the baseline gate rate %d", bs.Name, bs.GateRateQPS)
+		}
+		c := gateCheck{
+			Scenario:   bs.Name,
+			RateQPS:    bs.GateRateQPS,
+			BaseP99Ms:  baseRow.Latency.P99Ms,
+			FreshP99Ms: freshRow.Latency.P99Ms,
+			LimitMs:    baseRow.Latency.P99Ms*mult + float64(slack.Milliseconds()),
+		}
+		c.OK = freshRow.Errors == 0 && c.FreshP99Ms <= c.LimitMs
+		checks = append(checks, c)
+	}
+	return checks, nil
+}
+
+func findRate(rows []RateRow, rate int) *RateRow {
+	for i := range rows {
+		if rows[i].RateQPS == rate {
+			return &rows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	semprox "repro"
+	"repro/client"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// target is the serving stack a suite fires at: a replica-aware Router
+// over one primary and N followers, plus the name space queries draw from.
+type target struct {
+	router *client.Router
+	names  []string // query-able anchor (user) node names
+	class  string
+	desc   string // for the report's "target" field
+	close  func()
+}
+
+// loadClient builds the shared HTTP client for load generation: the
+// default transport keeps only 2 idle conns per host, which at load rates
+// turns every request into a fresh TCP handshake (and eventually port
+// exhaustion); the pool here is sized for the open-loop burst depth.
+func loadClient() *http.Client {
+	tr := &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 512,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &http.Client{Transport: tr, Timeout: client.DefaultTimeout}
+}
+
+// selfHost stands up the real serving stack in-process: a trained engine
+// behind a durable primary (WAL in a temp dir) plus def.Followers real
+// followers bootstrapped and streaming over loopback HTTP — the same
+// wiring semproxd -wal / -follow runs, reached through the same public
+// client packages.
+func selfHost(ctx context.Context, def Defaults) (*target, error) {
+	ds := dataset.LinkedIn(dataset.Config{Users: def.Users, Seed: def.Seed, NoiseRate: 0.05})
+	labels, ok := ds.Classes[def.Class]
+	if !ok {
+		return nil, fmt.Errorf("dataset has no class %q (have %v)", def.Class, ds.ClassNames())
+	}
+	opts := semprox.DefaultOptions()
+	// Load generation measures the serving path, not model quality or
+	// mining richness: MaxNodes 3 keeps the metagraph set small so an
+	// update's incremental re-match costs single-digit milliseconds per
+	// engine (at MaxNodes 4 it is ~100ms, and on a small CI box every
+	// mixed-workload scenario just measures the re-matcher). A short
+	// training run keeps stack setup in seconds.
+	opts.Mining = mining.Options{MaxNodes: 3, MinSupport: 5}
+	opts.Train.Restarts = 1
+	opts.Train.MaxIters = 60
+	eng, err := semprox.NewEngine(ds.G, "user", opts)
+	if err != nil {
+		return nil, err
+	}
+	eng.Train(def.Class, semprox.MakeExamples(labels, labels.Queries(), ds.Users(), 100, def.Seed))
+
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	fail := func(err error) (*target, error) {
+		cleanup()
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "loadgen-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	cleanups = append(cleanups, func() { os.RemoveAll(dir) })
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return fail(err)
+	}
+	cleanups = append(cleanups, func() { w.Close() })
+
+	srv := server.New(eng)
+	srv.AttachWAL(w)
+	pts := httptest.NewServer(srv)
+	cleanups = append(cleanups, pts.Close)
+
+	runCtx, stopRun := context.WithCancel(ctx)
+	cleanups = append(cleanups, stopRun)
+
+	hc := loadClient()
+	var urls []string
+	var followers []*replica.Follower
+	for i := 0; i < def.Followers; i++ {
+		f := replica.NewFollower(pts.URL, hc)
+		f.PollWait = 200 * time.Millisecond
+		f.Backoff = 20 * time.Millisecond
+		if err := f.Bootstrap(ctx); err != nil {
+			return fail(fmt.Errorf("bootstrap follower %d: %w", i, err))
+		}
+		go f.Run(runCtx) //nolint:errcheck // ends with ctx
+		fsrv := server.New(f.Engine())
+		fsrv.SetFollower(f)
+		fts := httptest.NewServer(fsrv)
+		cleanups = append(cleanups, fts.Close)
+		followers = append(followers, f)
+		urls = append(urls, fts.URL)
+	}
+
+	router := client.NewRouter(pts.URL, urls, hc)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ready := 0
+		for _, f := range followers {
+			if f.Status().Ready {
+				ready++
+			}
+		}
+		if ready == len(followers) && router.Probe(ctx) == len(followers) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fail(fmt.Errorf("followers never became ready (%d/%d)", ready, len(followers)))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	go router.Run(runCtx) //nolint:errcheck // ends with ctx
+
+	names := userNames(eng)
+	if len(names) == 0 {
+		return fail(fmt.Errorf("no user nodes to query"))
+	}
+	return &target{
+		router: router,
+		names:  names,
+		class:  def.Class,
+		desc:   fmt.Sprintf("self-hosted loopback stack: durable primary + %d followers, %d users", def.Followers, def.Users),
+		close:  cleanup,
+	}, nil
+}
+
+// userNames lists the anchor node names of the engine's graph, sorted for
+// deterministic draw order.
+func userNames(eng *semprox.Engine) []string {
+	g := eng.Graph()
+	var names []string
+	for _, q := range g.NodesOfType(g.Types().ID("user")) {
+		names = append(names, g.Name(q))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// external targets an already-running stack (scripts/load_smoke.sh starts
+// real semproxd processes). The primary must serve the configured class;
+// query names assume the built-in datasets' user-N naming with def.Users
+// users.
+func external(ctx context.Context, primaryURL, followersCSV string, def Defaults) (*target, error) {
+	var followerURLs []string
+	for _, u := range strings.Split(followersCSV, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			followerURLs = append(followerURLs, u)
+		}
+	}
+	hc := loadClient()
+	router := client.NewRouter(primaryURL, followerURLs, hc)
+
+	classes, err := router.Primary().Classes(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("primary %s unreachable: %w", primaryURL, err)
+	}
+	found := false
+	for _, c := range classes {
+		found = found || c == def.Class
+	}
+	if !found {
+		return nil, fmt.Errorf("primary %s has no class %q (have %v)", primaryURL, def.Class, classes)
+	}
+
+	runCtx, stopRun := context.WithCancel(ctx)
+	deadline := time.Now().Add(30 * time.Second)
+	for router.Probe(ctx) < len(followerURLs) {
+		if time.Now().After(deadline) {
+			stopRun()
+			return nil, fmt.Errorf("only %d/%d followers entered rotation", router.Probe(ctx), len(followerURLs))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	go router.Run(runCtx) //nolint:errcheck // ends with ctx
+
+	names := make([]string, def.Users)
+	for i := range names {
+		names[i] = fmt.Sprintf("user-%d", i)
+	}
+	return &target{
+		router: router,
+		names:  names,
+		class:  def.Class,
+		desc:   fmt.Sprintf("external stack: primary %s + %d followers", primaryURL, len(followerURLs)),
+		close:  stopRun,
+	}, nil
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type sample struct {
+	Benchmark string `json:"benchmark"`
+	Value     int    `json:"value"`
+}
+
+func TestMarshalShape(t *testing.T) {
+	js, err := Marshal(sample{Benchmark: "x", Value: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(js, []byte("\n")) {
+		t.Fatal("no trailing newline")
+	}
+	if !strings.Contains(string(js), "  \"benchmark\": \"x\"") {
+		t.Fatalf("not two-space indented:\n%s", js)
+	}
+}
+
+func TestMarshalError(t *testing.T) {
+	if _, err := Marshal(make(chan int)); err == nil {
+		t.Fatal("marshaling a channel should fail")
+	}
+}
+
+func TestEmitWritesFileAndLogs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	var stdout bytes.Buffer
+	if err := emit(&stdout, path, sample{Benchmark: "b", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "wrote "+path) {
+		t.Fatalf("missing wrote line, got %q", stdout.String())
+	}
+	var got sample
+	if err := Load(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != "b" || got.Value != 1 {
+		t.Fatalf("round trip drifted: %+v", got)
+	}
+}
+
+func TestEmitStdoutOnly(t *testing.T) {
+	dir := t.TempDir()
+	var stdout bytes.Buffer
+	if err := emit(&stdout, Stdout, sample{Benchmark: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	var got sample
+	if err := json.Unmarshal(stdout.Bytes(), &got); err != nil {
+		t.Fatalf("stdout is not the report JSON: %v\n%s", err, stdout.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("stdout emit touched the filesystem: %v %v", entries, err)
+	}
+}
+
+// TestEmitFailureLeavesOldReport is the atomicity contract: an unwritable
+// emit must not clobber or truncate the committed baseline.
+func TestEmitFailureLeavesOldReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+	if err := EmitJSON(path, sample{Benchmark: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755) //nolint:errcheck // restore for cleanup
+	var stdout bytes.Buffer
+	if err := emit(&stdout, path, sample{Benchmark: "new"}); err == nil {
+		t.Skip("running with privileges that ignore directory permissions")
+	}
+	os.Chmod(dir, 0o755) //nolint:errcheck
+	var got sample
+	if err := Load(path, &got); err != nil || got.Benchmark != "old" {
+		t.Fatalf("failed emit damaged the baseline: %+v, %v", got, err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	var out sample
+	if err := Load(filepath.Join(t.TempDir(), "missing.json"), &out); err == nil {
+		t.Fatal("loading a missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(bad, &out); err == nil {
+		t.Fatal("loading malformed JSON should fail")
+	}
+}

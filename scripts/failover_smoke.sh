@@ -21,29 +21,20 @@
 #     falsely acked (its synchronous ack can't be confirmed by anyone).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. "$(dirname "$0")/smoke_lib.sh"
 
 P=127.0.0.1:18101
 A=127.0.0.1:18102
 B=127.0.0.1:18103
-tmp=$(mktemp -d)
+smoke_init
 pids=()
 cleanup() {
     touch "$tmp/stop_writer"
     for pid in "${pids[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
     wait 2>/dev/null || true
-    rm -rf "$tmp"
+    smoke_cleanup_tmp
 }
 trap cleanup EXIT
-
-wait_http() { # url [tries]
-    local url=$1 tries=${2:-240}
-    for _ in $(seq 1 "$tries"); do
-        curl -fsS "$url" >/dev/null 2>&1 && return 0
-        sleep 0.5
-    done
-    echo "FAIL: timeout waiting for $url" >&2
-    return 1
-}
 
 echo "== build"
 go build -o "$tmp/semproxd" ./cmd/semproxd
@@ -51,26 +42,25 @@ go build -o "$tmp/semproxctl" ./cmd/semproxctl
 ctl() { "$tmp/semproxctl" "$@"; }
 
 echo "== start durable primary on $P (synchronous: -ack-replicas 1)"
-"$tmp/semproxd" -addr "$P" -dataset linkedin -users 200 -classes college \
-    -wal "$tmp/p-wal" -save "$tmp/engine.snap" -ack-replicas 1 \
-    >"$tmp/primary.log" 2>&1 &
-primary_pid=$!
+start_daemon "$logdir/failover_primary.log" "http://$P/v1/healthz" \
+    "$tmp/semproxd" -addr "$P" -dataset linkedin -users 200 -classes college \
+    -wal "$tmp/p-wal" -save "$tmp/engine.snap" -ack-replicas 1
+primary_pid=$daemon_pid
 pids+=("$primary_pid")
-wait_http "http://$P/v1/healthz" || { cat "$tmp/primary.log" >&2; exit 1; }
 
 echo "== start two durable followers with promotion monitors"
-"$tmp/semproxd" -addr "$A" -follow "http://$P" -state "$tmp/a" \
-    -advertise "http://$A" -peers "http://$B" -ack-replicas 1 \
-    >"$tmp/a.log" 2>&1 &
-a_pid=$!
+start_daemon "$logdir/failover_a.log" "http://$A/v1/healthz" \
+    "$tmp/semproxd" -addr "$A" -follow "http://$P" -state "$tmp/a" \
+    -advertise "http://$A" -peers "http://$B" -ack-replicas 1
+a_pid=$daemon_pid
 pids+=("$a_pid")
-"$tmp/semproxd" -addr "$B" -follow "http://$P" -state "$tmp/b" \
-    -advertise "http://$B" -peers "http://$A" -ack-replicas 1 \
-    >"$tmp/b.log" 2>&1 &
-b_pid=$!
+start_daemon "$logdir/failover_b.log" "http://$B/v1/healthz" \
+    "$tmp/semproxd" -addr "$B" -follow "http://$P" -state "$tmp/b" \
+    -advertise "http://$B" -peers "http://$A" -ack-replicas 1
+b_pid=$daemon_pid
 pids+=("$b_pid")
-wait_http "http://$A/v1/readyz" || { cat "$tmp/a.log" >&2; exit 1; }
-wait_http "http://$B/v1/readyz" || { cat "$tmp/b.log" >&2; exit 1; }
+wait_http "http://$A/v1/readyz" || { cat "$logdir/failover_a.log" >&2; exit 1; }
+wait_http "http://$B/v1/readyz" || { cat "$logdir/failover_b.log" >&2; exit 1; }
 
 echo "== start the write stream (routed; every acked marker recorded)"
 : >"$tmp/acked.txt"
@@ -83,7 +73,7 @@ writer() {
         # deduplicated by the engine, so a lost-ack retry cannot fork state.
         until ctl -primary "http://$P" -followers "http://$A,http://$B" -timeout 10s \
             -update '{"nodes":[{"type":"user","name":"'"$name"'"}],"edges":[{"u":"'"$name"'","v":"user-1"}]}' \
-            >/dev/null 2>>"$tmp/writer.err"; do
+            >/dev/null 2>>"$logdir/failover_writer.err"; do
             [ -f "$tmp/stop_writer" ] && return 0
             sleep 0.3
         done
@@ -100,7 +90,7 @@ for _ in $(seq 1 240); do
     sleep 0.25
 done
 pre_kill=$(wc -l <"$tmp/acked.txt")
-[ "$pre_kill" -ge 5 ] || { echo "FAIL: writer never got 5 acks" >&2; cat "$tmp/writer.err" >&2; exit 1; }
+[ "$pre_kill" -ge 5 ] || { echo "FAIL: writer never got 5 acks" >&2; cat "$logdir/failover_writer.err" >&2; exit 1; }
 
 echo "== kill -9 the primary mid-stream (after $pre_kill acked writes)"
 kill -9 "$primary_pid"
@@ -117,8 +107,8 @@ for _ in $(seq 1 240); do
 done
 [ -n "$resumed" ] || {
     echo "FAIL: no write acked within 60s of killing the primary" >&2
-    tail -5 "$tmp/writer.err" >&2 || true
-    cat "$tmp/a.log" "$tmp/b.log" >&2
+    tail -5 "$logdir/failover_writer.err" >&2 || true
+    cat "$logdir/failover_a.log" "$logdir/failover_b.log" >&2
     exit 1
 }
 restore_ms=$(($(date +%s%3N) - killed_at))
@@ -167,20 +157,20 @@ for _ in $(seq 1 40); do
     curl -fsS "http://$loser/v1/healthz" >/dev/null 2>&1 || break
     sleep 0.25
 done
-"$tmp/semproxd" -addr "$P" -snapshot "$tmp/engine.snap" -wal "$tmp/p-wal" -ack-replicas 1 \
-    >"$tmp/zombie.log" 2>&1 &
-pids+=($!)
-wait_http "http://$P/v1/healthz" || { cat "$tmp/zombie.log" >&2; exit 1; }
+# The zombie reuses the killed primary's port: exactly the bind race
+# start_daemon's bounded retry exists for.
+start_daemon "$logdir/failover_zombie.log" "http://$P/v1/healthz" \
+    "$tmp/semproxd" -addr "$P" -snapshot "$tmp/engine.snap" -wal "$tmp/p-wal" -ack-replicas 1
+pids+=("$daemon_pid")
 zterm=$(curl -fsS "http://$P/v1/readyz" | jq '.term // 1')
 [ "$zterm" = 1 ] || { echo "FAIL: zombie came back at term $zterm, want 1" >&2; exit 1; }
 
 echo "== a follower pointed at the zombie must fence, not apply its stream"
 # Reuse the loser's real state dir: it holds term-2 records the zombie
 # has never seen.
-"$tmp/semproxd" -addr "$loser" -follow "http://$P" -state "$statedir" \
-    >"$tmp/fenced.log" 2>&1 &
-pids+=($!)
-wait_http "http://$loser/v1/healthz" || { cat "$tmp/fenced.log" >&2; exit 1; }
+start_daemon "$logdir/failover_fenced.log" "http://$loser/v1/healthz" \
+    "$tmp/semproxd" -addr "$loser" -follow "http://$P" -state "$statedir"
+pids+=("$daemon_pid")
 fenced=""
 for _ in $(seq 1 120); do
     if [ "$(curl -sS "http://$loser/v1/readyz" | jq -r .status)" = fenced ]; then
@@ -192,7 +182,7 @@ done
 [ -n "$fenced" ] || {
     echo "FAIL: follower behind the zombie never reported fenced:" >&2
     curl -sS "http://$loser/v1/readyz" >&2 || true
-    cat "$tmp/fenced.log" >&2
+    cat "$logdir/failover_fenced.log" >&2
     exit 1
 }
 fenced_lsn=$(curl -sS "http://$loser/v1/readyz" | jq .lsn)

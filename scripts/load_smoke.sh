@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Load smoke test against real processes: build semproxd, run a durable
+# primary and two followers on loopback — the same topology `make
+# load-smoke` self-hosts in-process — wait for both followers to catch
+# up, then point cmd/loadgen's external mode at the stack and fire every
+# scenario's Poisson stream at its gate rate for a short deterministic
+# window. loadgen's smoke checks (zero request errors, every send
+# measured, monotone percentile slate) apply unchanged; nothing
+# committed is written. This is the cross-check that the open-loop
+# harness and the real daemon wiring agree — the in-process smoke can't
+# catch a bug in semproxd's own flag plumbing or process lifecycle.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. "$(dirname "$0")/smoke_lib.sh"
+
+PRIMARY=127.0.0.1:18111
+F1=127.0.0.1:18112
+F2=127.0.0.1:18113
+smoke_init
+pids=()
+cleanup() {
+    for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    smoke_cleanup_tmp
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmp/semproxd" ./cmd/semproxd
+go build -o "$tmp/loadgen" ./cmd/loadgen
+
+echo "== start durable primary on $PRIMARY"
+start_daemon "$logdir/load_primary.log" "http://$PRIMARY/v1/healthz" \
+    "$tmp/semproxd" -addr "$PRIMARY" -dataset linkedin -users 200 -classes college \
+    -wal "$tmp/wal"
+pids+=("$daemon_pid")
+
+echo "== start two followers"
+start_daemon "$logdir/load_f1.log" "http://$F1/v1/healthz" \
+    "$tmp/semproxd" -addr "$F1" -follow "http://$PRIMARY"
+pids+=("$daemon_pid")
+start_daemon "$logdir/load_f2.log" "http://$F2/v1/healthz" \
+    "$tmp/semproxd" -addr "$F2" -follow "http://$PRIMARY"
+pids+=("$daemon_pid")
+wait_http "http://$F1/v1/readyz" || { cat "$logdir/load_f1.log" >&2; exit 1; }
+wait_http "http://$F2/v1/readyz" || { cat "$logdir/load_f2.log" >&2; exit 1; }
+
+echo "== open-loop smoke through the external stack"
+"$tmp/loadgen" -mode smoke -out - \
+    -primary "http://$PRIMARY" -followers "http://$F1,http://$F2" \
+    >"$logdir/load_smoke_output.log" || {
+    echo "FAIL: loadgen smoke against the external stack failed" >&2
+    tail -20 "$logdir/load_primary.log" >&2 || true
+    exit 1
+}
+
+echo "OK: open-loop smoke passed against real semproxd processes"

@@ -8,29 +8,20 @@
 # smoke exercises the same wire contract (api) in-process consumers use.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. "$(dirname "$0")/smoke_lib.sh"
 
 PRIMARY=127.0.0.1:18091
 FOLLOWER=127.0.0.1:18092
-tmp=$(mktemp -d)
+smoke_init
 primary_pid=""
 follower_pid=""
 cleanup() {
     [ -n "$follower_pid" ] && kill "$follower_pid" 2>/dev/null || true
     [ -n "$primary_pid" ] && kill "$primary_pid" 2>/dev/null || true
     wait 2>/dev/null || true
-    rm -rf "$tmp"
+    smoke_cleanup_tmp
 }
 trap cleanup EXIT
-
-wait_http() { # url [tries]
-    local url=$1 tries=${2:-240}
-    for _ in $(seq 1 "$tries"); do
-        curl -fsS "$url" >/dev/null 2>&1 && return 0
-        sleep 0.5
-    done
-    echo "FAIL: timeout waiting for $url" >&2
-    return 1
-}
 
 echo "== build"
 go build -o "$tmp/semproxd" ./cmd/semproxd
@@ -38,15 +29,15 @@ go build -o "$tmp/semproxctl" ./cmd/semproxctl
 ctl() { "$tmp/semproxctl" "$@"; }
 
 echo "== start durable primary on $PRIMARY"
-"$tmp/semproxd" -addr "$PRIMARY" -dataset linkedin -users 200 -classes college \
-    -wal "$tmp/wal" >"$tmp/primary.log" 2>&1 &
-primary_pid=$!
-wait_http "http://$PRIMARY/v1/healthz" || { cat "$tmp/primary.log" >&2; exit 1; }
+start_daemon "$logdir/replication_primary.log" "http://$PRIMARY/v1/healthz" \
+    "$tmp/semproxd" -addr "$PRIMARY" -dataset linkedin -users 200 -classes college \
+    -wal "$tmp/wal"
+primary_pid=$daemon_pid
 
 echo "== start follower on $FOLLOWER"
-"$tmp/semproxd" -addr "$FOLLOWER" -follow "http://$PRIMARY" >"$tmp/follower.log" 2>&1 &
-follower_pid=$!
-wait_http "http://$FOLLOWER/v1/healthz" || { cat "$tmp/follower.log" >&2; exit 1; }
+start_daemon "$logdir/replication_follower.log" "http://$FOLLOWER/v1/healthz" \
+    "$tmp/semproxd" -addr "$FOLLOWER" -follow "http://$PRIMARY"
+follower_pid=$daemon_pid
 
 echo "== push live updates through the primary (typed client write path)"
 for i in 1 2 3; do
@@ -59,7 +50,7 @@ echo "== wait for the follower to catch up (readyz 200 AND lsn 3)"
 wait_http "http://$FOLLOWER/v1/readyz" 120 || {
     echo "follower /v1/readyz:" >&2
     curl -sS "http://$FOLLOWER/v1/readyz" >&2 || true
-    cat "$tmp/follower.log" >&2
+    cat "$logdir/replication_follower.log" >&2
     exit 1
 }
 # readyz can momentarily report 200 between polls while later updates are
@@ -75,7 +66,7 @@ done
 [ -n "$caught_up" ] || {
     echo "FAIL: follower never reached LSN 3" >&2
     ctl -primary "http://$FOLLOWER" -stats >&2 || true
-    cat "$tmp/follower.log" >&2
+    cat "$logdir/replication_follower.log" >&2
     exit 1
 }
 

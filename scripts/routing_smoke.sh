@@ -9,44 +9,35 @@
 # failover the PR's routing layer exists for.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. "$(dirname "$0")/smoke_lib.sh"
 
 PRIMARY=127.0.0.1:18093
 FOLLOWER=127.0.0.1:18094
-tmp=$(mktemp -d)
+smoke_init
 primary_pid=""
 follower_pid=""
 cleanup() {
     [ -n "$follower_pid" ] && kill "$follower_pid" 2>/dev/null || true
     [ -n "$primary_pid" ] && kill "$primary_pid" 2>/dev/null || true
     wait 2>/dev/null || true
-    rm -rf "$tmp"
+    smoke_cleanup_tmp
 }
 trap cleanup EXIT
-
-wait_http() { # url [tries]
-    local url=$1 tries=${2:-240}
-    for _ in $(seq 1 "$tries"); do
-        curl -fsS "$url" >/dev/null 2>&1 && return 0
-        sleep 0.5
-    done
-    echo "FAIL: timeout waiting for $url" >&2
-    return 1
-}
 
 echo "== build"
 go build -o "$tmp/semproxd" ./cmd/semproxd
 go build -o "$tmp/semproxctl" ./cmd/semproxctl
 
 echo "== start durable primary on $PRIMARY"
-"$tmp/semproxd" -addr "$PRIMARY" -dataset linkedin -users 200 -classes college \
-    -wal "$tmp/wal" >"$tmp/primary.log" 2>&1 &
-primary_pid=$!
-wait_http "http://$PRIMARY/v1/healthz" || { cat "$tmp/primary.log" >&2; exit 1; }
+start_daemon "$logdir/routing_primary.log" "http://$PRIMARY/v1/healthz" \
+    "$tmp/semproxd" -addr "$PRIMARY" -dataset linkedin -users 200 -classes college \
+    -wal "$tmp/wal"
+primary_pid=$daemon_pid
 
 echo "== start follower on $FOLLOWER"
-"$tmp/semproxd" -addr "$FOLLOWER" -follow "http://$PRIMARY" >"$tmp/follower.log" 2>&1 &
-follower_pid=$!
-wait_http "http://$FOLLOWER/v1/healthz" || { cat "$tmp/follower.log" >&2; exit 1; }
+start_daemon "$logdir/routing_follower.log" "http://$FOLLOWER/v1/healthz" \
+    "$tmp/semproxd" -addr "$FOLLOWER" -follow "http://$PRIMARY"
+follower_pid=$daemon_pid
 
 echo "== push live updates through the routed write path (pins to the primary)"
 for i in 1 2 3; do
@@ -68,7 +59,7 @@ done
 [ -n "$ok" ] || {
     echo "FAIL: replicas never all became ready at LSN 3" >&2
     cat "$tmp/ready.json" >&2 || true
-    cat "$tmp/follower.log" >&2
+    cat "$logdir/routing_follower.log" >&2
     exit 1
 }
 
@@ -96,7 +87,7 @@ primary_pid=""
 "$tmp/semproxctl" -primary "http://$PRIMARY" -followers "http://$FOLLOWER" \
     -class college -query routed-2 -k 5 -n 20 >"$tmp/failover.json" 2>/dev/null || {
     echo "FAIL: routed reads failed after primary death" >&2
-    cat "$tmp/follower.log" >&2
+    cat "$logdir/routing_follower.log" >&2
     exit 1
 }
 if ! diff <(jq -S . "$tmp/failover.json") <(jq -S . "$tmp/routed.json") >&2; then

@@ -1,0 +1,79 @@
+# Shared plumbing for the smoke scripts. Source this after setting
+# `set -euo pipefail`:
+#
+#     . "$(dirname "$0")/smoke_lib.sh"
+#     smoke_init
+#
+# smoke_init creates the scratch dir ($tmp, removed on exit) and the log
+# dir ($logdir): daemon logs belong in $logdir, which defaults to $tmp
+# but honors SMOKE_LOG_DIR so CI can keep the logs as artifacts after a
+# failure. The caller still owns its EXIT trap (process teardown varies
+# per script) but should call smoke_cleanup_tmp from it.
+#
+# start_daemon starts a background process and waits until its health
+# URL answers, with a bounded retry (3 attempts) when the process dies
+# before becoming healthy — the fixed loopback ports these scripts use
+# can collide with a lingering process from a previous run (TIME_WAIT,
+# unreaped child), and a bind failure exits immediately; retrying after
+# a short pause is what distinguishes that race from a real crash.
+
+smoke_init() {
+    tmp=$(mktemp -d)
+    logdir=${SMOKE_LOG_DIR:-$tmp}
+    mkdir -p "$logdir"
+}
+
+smoke_cleanup_tmp() {
+    rm -rf "$tmp"
+}
+
+wait_http() { # url [tries]
+    local url=$1 tries=${2:-240}
+    for _ in $(seq 1 "$tries"); do
+        curl -fsS "$url" >/dev/null 2>&1 && return 0
+        sleep 0.5
+    done
+    echo "FAIL: timeout waiting for $url" >&2
+    return 1
+}
+
+# wait_healthy <pid> <url> [tries]: poll the health URL while the
+# process is still alive. Distinguishes "starting up" (keep polling)
+# from "exited before binding" (return fast so the caller can retry).
+wait_healthy() {
+    local pid=$1 url=$2 tries=${3:-240}
+    for _ in $(seq 1 "$tries"); do
+        curl -fsS "$url" >/dev/null 2>&1 && return 0
+        kill -0 "$pid" 2>/dev/null || return 1
+        sleep 0.5
+    done
+    return 1
+}
+
+# start_daemon <logfile> <health_url> <cmd...>
+# Starts cmd in the background (appending to logfile), waits for
+# health_url, and sets $daemon_pid. If the process exits before turning
+# healthy — the port-bind race — it is restarted, up to 3 attempts. A
+# process that stays alive but never answers is a real failure: no
+# retry, dump the log, return 1.
+start_daemon() {
+    local logfile=$1 health=$2 attempt
+    shift 2
+    daemon_pid=""
+    for attempt in 1 2 3; do
+        "$@" >>"$logfile" 2>&1 &
+        daemon_pid=$!
+        if wait_healthy "$daemon_pid" "$health"; then
+            return 0
+        fi
+        if kill -0 "$daemon_pid" 2>/dev/null; then
+            echo "FAIL: process never answered $health (alive but not healthy)" >&2
+            break
+        fi
+        echo "   start attempt $attempt exited before healthy (port-bind race?); retrying: $*" >&2
+        sleep 1
+    done
+    echo "FAIL: could not start: $*" >&2
+    cat "$logfile" >&2
+    return 1
+}
