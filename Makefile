@@ -14,14 +14,17 @@
 #              stream: promotion, no lost acked writes, zombie fencing),
 #              an open-loop load smoke (Poisson arrivals against the
 #              self-hosted serving stack, error-free with consistent
-#              percentiles), and the load gate (fresh p99 at each
-#              scenario's gate rate vs the committed BENCH_load.json).
+#              percentiles), the load gate (fresh p99 at each scenario's
+#              gate rate vs the committed BENCH_load.json), and the edge
+#              proxy smoke (semproxy over real semproxd processes:
+#              epoch-keyed cache flush + zero failed reads across a
+#              primary kill).
 GO ?= go
 COVER_FLOOR ?= 80
 
-.PHONY: ci lint vet build test cover bench-smoke bench replication-smoke routing-smoke failover-smoke load-smoke load-smoke-e2e load-gate load-bench
+.PHONY: ci lint vet build test cover bench-smoke bench replication-smoke routing-smoke failover-smoke proxy-smoke load-smoke load-smoke-e2e load-gate load-bench proxy-bench
 
-ci: lint build test cover bench-smoke replication-smoke routing-smoke failover-smoke load-smoke load-gate
+ci: lint build test cover bench-smoke replication-smoke routing-smoke failover-smoke proxy-smoke load-smoke load-gate
 
 # gofmt must be a no-op and vet must be clean; staticcheck runs too when
 # the host has it installed (the dev container may not). CI installs a
@@ -52,7 +55,8 @@ test:
 # replica's network-failure arms keep those two below the default), so
 # any drop is a regression, not noise.
 COVER_PKGS ?= internal/core internal/server api client \
-	internal/wal:80 internal/replica:75 internal/loadstats:90 internal/report:85
+	internal/wal:80 internal/replica:75 internal/loadstats:90 internal/report:85 \
+	internal/proxy:85
 cover:
 	@for entry in $(COVER_PKGS); do \
 		pkg=$${entry%%:*}; floor=$${entry#*:}; \
@@ -99,6 +103,14 @@ routing-smoke:
 failover-smoke:
 	bash scripts/failover_smoke.sh
 
+# Edge proxy smoke: a real semproxy over real semproxd processes
+# (primary + 2 followers on loopback). Repeat reads must go miss -> hit
+# byte-identically, an update through the proxy must flush the cache
+# under a bumped epoch, and a kill -9 of the primary under a live reader
+# must lose zero reads (see scripts/proxy_smoke.sh).
+proxy-smoke:
+	bash scripts/proxy_smoke.sh
+
 # Open-loop load smoke: stand up the real serving stack (durable primary
 # + 2 followers behind the routed client, in-process), fire every
 # scenario's Poisson stream at its gate rate for a short deterministic
@@ -132,3 +144,10 @@ bench:
 # p99 SLO (commit it to extend the load trajectory).
 load-bench:
 	$(GO) run ./cmd/loadgen
+
+# Edge-tier A/B; rewrites BENCH_proxy.json: hedged vs unhedged p99 with
+# an injected straggler follower, and cache-on vs cache-off max
+# sustainable QPS under the Zipf-hot scenario (commit it to extend the
+# perf trajectory).
+proxy-bench:
+	$(GO) run ./cmd/loadgen -mode proxy

@@ -74,6 +74,17 @@ func CanonicalPath(p string) string {
 	return p
 }
 
+// HeaderEpoch is the response header stamping query and proximity
+// responses with the serving epoch that produced them — the same counter
+// PathStats serves, emitted per response so edge caches (cmd/semproxy)
+// can key entries by the exact data generation without a second request
+// and without the torn pairing a separate stats poll could observe. It
+// rides transport metadata, not the body, so response bytes stay
+// identical across servers with and without the header — the
+// byte-identity invariant replicas are tested under. Headers are
+// additive transport metadata; adding one is a compatible /v1 change.
+const HeaderEpoch = "X-Semprox-Epoch"
+
 // Request limits, enforced server-side with CodeBadRequest. Clients that
 // pre-validate against the same constants never burn a round trip on an
 // oversized request.
@@ -232,17 +243,43 @@ type ClassesResponse struct {
 	Classes []string `json:"classes"`
 }
 
-// StatsResponse is the PathStats body.
+// StatsResponse is the PathStats body. Proxy is absent from engine
+// servers; the semproxy edge tier forwards the primary's stats and
+// appends its own hedge/cache counters there (an added omitempty field —
+// a compatible /v1 extension).
 type StatsResponse struct {
-	Epoch             uint64   `json:"epoch"`
-	LSN               uint64   `json:"lsn"`
-	Nodes             int      `json:"nodes"`
-	Edges             int      `json:"edges"`
-	Types             int      `json:"types"`
-	Metagraphs        int      `json:"metagraphs"`
-	Matched           int      `json:"matched"`
-	PendingCompaction int      `json:"pending_compaction"`
-	Classes           []string `json:"classes"`
+	Epoch             uint64      `json:"epoch"`
+	LSN               uint64      `json:"lsn"`
+	Nodes             int         `json:"nodes"`
+	Edges             int         `json:"edges"`
+	Types             int         `json:"types"`
+	Metagraphs        int         `json:"metagraphs"`
+	Matched           int         `json:"matched"`
+	PendingCompaction int         `json:"pending_compaction"`
+	Classes           []string    `json:"classes"`
+	Proxy             *ProxyStats `json:"proxy,omitempty"`
+}
+
+// ProxyStats is the semproxy edge tier's observability block: how the
+// hedger and the epoch-keyed response cache are behaving. Reads counts
+// the read requests forwarded to backends (cache hits never reach one);
+// HedgesIssued/Won/Cancelled decompose the duplicate requests the
+// hedger launched (won = the hedge's answer was used, cancelled = the
+// first attempt won and the hedge was cancelled mid-flight);
+// EpochFlushes counts the epoch bumps the proxy observed, each of which
+// flushes the cache; Epoch is the newest epoch observed.
+type ProxyStats struct {
+	Reads           uint64 `json:"reads"`
+	HedgesIssued    uint64 `json:"hedges_issued"`
+	HedgesWon       uint64 `json:"hedges_won"`
+	HedgesCancelled uint64 `json:"hedges_cancelled"`
+	CacheHits       uint64 `json:"cache_hits"`
+	CacheMisses     uint64 `json:"cache_misses"`
+	CacheEvictions  uint64 `json:"cache_evictions"`
+	CacheEntries    int    `json:"cache_entries"`
+	CacheBytes      int    `json:"cache_bytes"`
+	EpochFlushes    uint64 `json:"epoch_flushes"`
+	Epoch           uint64 `json:"epoch"`
 }
 
 // Roles reported by PathReadyz.
@@ -250,6 +287,9 @@ const (
 	RolePrimary    = "primary"
 	RoleFollower   = "follower"
 	RoleStandalone = "standalone"
+	// RoleProxy: a semproxy edge tier — not a replica; it fronts a
+	// primary and followers and owns no data of its own.
+	RoleProxy = "proxy"
 )
 
 // Readiness statuses reported by PathReadyz.
@@ -257,6 +297,9 @@ const (
 	StatusReady      = "ready"
 	StatusCatchingUp = "catching_up"
 	StatusWALFailed  = "wal_failed"
+	// StatusNoBackends: a proxy that can currently reach no backend able
+	// to serve reads — no live follower and no ready primary.
+	StatusNoBackends = "no_backends"
 	// StatusFenced: a follower that observed records from a term older
 	// than one it has already applied — it is polling a zombie primary
 	// (one that lost its authority to a promotion) and refuses to apply

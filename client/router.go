@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -412,6 +413,59 @@ func (r *Router) read(ctx context.Context, call func(*Client) error) error {
 	}
 	r.served[cur].Add(1)
 	return nil
+}
+
+// ReadTargets returns up to max distinct backends for one read, in the
+// order the rotation would try them: the live followers starting at the
+// round-robin cursor (advanced once per call, so successive calls
+// spread), then the resolved primary as the final fallback — the same
+// candidate order read uses, exposed for callers that drive the HTTP
+// exchange themselves (the semproxy edge tier forwards raw bodies and
+// hedges stragglers, which the closure-based read path can't express).
+// With no live followers the result is just the primary. Callers report
+// each attempt's outcome through ReportRead so ejections and serve
+// counts keep working.
+func (r *Router) ReadTargets(max int) []*Client {
+	if max <= 0 {
+		return nil
+	}
+	idx := r.Live()
+	out := make([]*Client, 0, len(idx)+1)
+	if len(idx) > 0 {
+		start := int((r.rr.Add(1) - 1) % uint64(len(idx)))
+		for a := 0; a < len(idx) && len(out) < max; a++ {
+			out = append(out, r.clients[1+idx[(start+a)%len(idx)]])
+		}
+	}
+	// The resolved primary can BE one of the live followers mid-promotion
+	// (cur moves before the probe flips its role); don't list it twice.
+	if p := r.Primary(); len(out) < max && !slices.Contains(out, p) {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ReportRead records the outcome of a read the caller performed itself
+// against a backend obtained from ReadTargets: success bumps the
+// backend's serve count (Counts), and a failover-grade failure (5xx or
+// transport) ejects a follower from rotation exactly as the built-in
+// read path would — the primary is never ejected (it is the fallback,
+// and probes own the primary's fate), and 4xx outcomes are the request's
+// fault, not the replica's. Do NOT report attempts the caller cancelled
+// itself (a hedge loser): its context error is indistinguishable from a
+// dead backend and would eject a healthy replica.
+func (r *Router) ReportRead(c *Client, err error) {
+	for i, rc := range r.clients {
+		if rc != c {
+			continue
+		}
+		if err == nil {
+			r.served[i].Add(1)
+		} else if i > 0 && failedOver(err) {
+			r.eject(i-1, err)
+		}
+		return
+	}
 }
 
 // failedOver reports whether an error should move the request to the

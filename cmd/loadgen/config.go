@@ -46,8 +46,19 @@ type Scenario struct {
 	K         int           // top-k for query/batch operations
 	BatchSize int           // queries per batch operation
 	SLOP99    time.Duration // per-scenario SLO override (0 = defaults)
+	KeyDist   string        // anchor popularity: "uniform" (default) or "zipf"
+	ZipfS     float64       // Zipf exponent (> 1; defaults to 1.2 when key_dist = "zipf")
 	Mix       Mix
 }
+
+// Anchor-popularity distributions. Uniform spreads queries evenly over
+// the name space; zipf concentrates them on a hot head (rank-r anchors
+// drawn with probability proportional to 1/r^s), the shape real
+// entity-lookup traffic has and the one a response cache lives on.
+const (
+	keyDistUniform = "uniform"
+	keyDistZipf    = "zipf"
+)
 
 // Mix is the operation mix as relative weights (normalized at draw time).
 type Mix struct {
@@ -325,6 +336,10 @@ func (s *Scenario) set(key string, v any) (err error) {
 		s.BatchSize, err = asInt(key, v)
 	case "slo_p99":
 		s.SLOP99, err = asDuration(key, v)
+	case "key_dist":
+		s.KeyDist, err = asString(key, v)
+	case "zipf_s":
+		s.ZipfS, err = asWeight(key, v)
 	case "query":
 		s.Mix.Query, err = asWeight(key, v)
 	case "update":
@@ -389,6 +404,25 @@ func (c *Config) validate() error {
 		}
 		if s.SLOP99 == 0 {
 			s.SLOP99 = d.SLOP99
+		}
+		switch s.KeyDist {
+		case "", keyDistUniform:
+			s.KeyDist = keyDistUniform
+			if s.ZipfS != 0 {
+				return fmt.Errorf("scenario %q: zipf_s set but key_dist is uniform", s.Name)
+			}
+		case keyDistZipf:
+			if s.ZipfS == 0 {
+				s.ZipfS = 1.2
+			}
+			// math/rand's Zipf generator requires s > 1 (the tail must
+			// converge); s = 1.0001 is effectively uniform-ish, s = 2 is
+			// brutally hot-headed.
+			if s.ZipfS <= 1 {
+				return fmt.Errorf("scenario %q: zipf_s must be > 1, got %g", s.Name, s.ZipfS)
+			}
+		default:
+			return fmt.Errorf("scenario %q: unknown key_dist %q (uniform or zipf)", s.Name, s.KeyDist)
 		}
 		if s.Mix.Batch > 0 {
 			if s.BatchSize == 0 {

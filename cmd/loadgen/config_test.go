@@ -110,6 +110,9 @@ rates = [100]
 		"tiny users":             "[defaults]\nusers = 2\n" + base,
 		"batch size without mix": base + "\n[[scenario]]\nname = \"b\"\nquery = 1.0\nrates = [1]\nbatch_size = 4\n",
 		"batch size too big":     base + "\n[[scenario]]\nname = \"b\"\nbatch = 1.0\nrates = [1]\nbatch_size = 100000\n",
+		"unknown key_dist":       base + "\n[[scenario]]\nname = \"z\"\nquery = 1.0\nrates = [1]\nkey_dist = \"pareto\"\n",
+		"zipf_s without zipf":    base + "\n[[scenario]]\nname = \"z\"\nquery = 1.0\nrates = [1]\nzipf_s = 1.5\n",
+		"zipf_s too small":       base + "\n[[scenario]]\nname = \"z\"\nquery = 1.0\nrates = [1]\nkey_dist = \"zipf\"\nzipf_s = 1.0\n",
 	}
 	for name, text := range cases {
 		if _, err := parseConfig(text); err == nil {
@@ -136,6 +139,32 @@ rates = [20, 10]
 	}
 	if sc.GateRate != 10 {
 		t.Fatalf("gate rate should default to the lowest swept rate, got %d", sc.GateRate)
+	}
+}
+
+func TestParseConfigKeyDist(t *testing.T) {
+	cfg, err := parseConfig(`
+[defaults]
+users = 50
+[[scenario]]
+name = "hot"
+query = 1.0
+rates = [100]
+key_dist = "zipf"
+[[scenario]]
+name = "cold"
+query = 1.0
+rates = [100]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := cfg.Scenarios[0], cfg.Scenarios[1]
+	if hot.KeyDist != keyDistZipf || hot.ZipfS != 1.2 {
+		t.Fatalf("zipf scenario under-defaulted: %+v", hot)
+	}
+	if cold.KeyDist != keyDistUniform || cold.ZipfS != 0 {
+		t.Fatalf("uniform scenario drifted: %+v", cold)
 	}
 }
 

@@ -43,6 +43,7 @@ const (
 	modeFull  = "full"
 	modeSmoke = "smoke"
 	modeGate  = "gate"
+	modeProxy = "proxy"
 )
 
 func main() {
@@ -56,7 +57,7 @@ func main() {
 func run() error {
 	var (
 		configPath = flag.String("config", "loadgen.toml", "scenario suite config")
-		mode       = flag.String("mode", modeFull, "full (sweep every rate), smoke (gate rate, consistency checks), or gate (gate rate, p99 regression check vs -baseline)")
+		mode       = flag.String("mode", modeFull, "full (sweep every rate), smoke (gate rate, consistency checks), gate (gate rate, p99 regression check vs -baseline), or proxy (edge-tier hedge/cache A/B, writes BENCH_proxy.json)")
 		out        = flag.String("out", "", "report output path ('-' for stdout only; default BENCH_load.json in full mode, '-' otherwise)")
 		baseline   = flag.String("baseline", "BENCH_load.json", "committed baseline the gate compares against")
 		gateMult   = flag.Float64("gate-mult", 3, "gate tolerance: fresh p99 may be up to this multiple of the baseline p99...")
@@ -80,14 +81,17 @@ func run() error {
 		cfg.Defaults.Seed = *seed
 	}
 	switch *mode {
-	case modeFull, modeSmoke, modeGate:
+	case modeFull, modeSmoke, modeGate, modeProxy:
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
 	if *out == "" {
 		*out = report.Stdout
-		if *mode == modeFull {
+		switch *mode {
+		case modeFull:
 			*out = "BENCH_load.json"
+		case modeProxy:
+			*out = "BENCH_proxy.json"
 		}
 	}
 	w := *window
@@ -116,6 +120,12 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Proxy mode runs its own A/B harness over its own proxy-fronted
+	// targets and writes the edge-tier report.
+	if *mode == modeProxy {
+		return runProxyBench(ctx, cfg, *configPath, w, *out)
+	}
 
 	start := time.Now()
 	var tgt *target

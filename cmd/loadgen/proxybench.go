@@ -1,0 +1,303 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/proxy"
+	"repro/internal/report"
+)
+
+// -mode proxy proves the edge tier's two perf claims with the same
+// open-loop machinery that produces BENCH_load.json, writing the result
+// to BENCH_proxy.json:
+//
+//   - Hedged reads cut the tail: one follower gets intermittent injected
+//     latency (a straggler, not a uniformly slow box — a uniformly slow
+//     backend would raise its own p95 budget and correctly never hedge),
+//     and the same read scenario runs at its gate rate through an
+//     unhedged proxy and a hedged one. The p99 cut and the hedge rate
+//     (which must stay under the cap) are reported.
+//   - The epoch-keyed cache raises the knee: a Zipf-hot read scenario
+//     sweeps its rates through a cache-off proxy and a cache-on one; the
+//     max sustainable QPS ratio is the headline.
+//
+// Both legs of each A/B go through a real internal/proxy instance over
+// the same backends, so the comparison isolates exactly the feature
+// under test rather than proxy-vs-no-proxy overhead.
+
+// ProxyReport is the BENCH_proxy.json shape.
+type ProxyReport struct {
+	Benchmark  string      `json:"benchmark"` // "edge_proxy"
+	Config     string      `json:"config"`
+	Target     string      `json:"target"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Timestamp  time.Time   `json:"timestamp"`
+	Hedge      HedgeResult `json:"hedge"`
+	Cache      CacheResult `json:"cache"`
+}
+
+// HedgeResult is the injected-straggler tail A/B.
+type HedgeResult struct {
+	Scenario       string         `json:"scenario"`
+	RateQPS        int            `json:"rate_qps"`
+	InjectedSlow   string         `json:"injected_slow"`
+	InjectedStalls uint64         `json:"injected_stalls"`
+	CapPct         int            `json:"cap_pct"`
+	Unhedged       RateRow        `json:"unhedged"`
+	Hedged         RateRow        `json:"hedged"`
+	P99CutPct      float64        `json:"p99_cut_pct"`
+	HedgeRatePct   float64        `json:"hedge_rate_pct"`
+	Counters       api.ProxyStats `json:"counters"` // hedged leg's proxy
+}
+
+// CacheResult is the Zipf-hot cache-off/cache-on sweep A/B.
+type CacheResult struct {
+	Scenario   string         `json:"scenario"`
+	Entries    int            `json:"entries"`
+	Uncached   ScenarioResult `json:"uncached"`
+	Cached     ScenarioResult `json:"cached"`
+	SpeedupX   float64        `json:"speedup_x"` // cached / uncached max sustainable QPS
+	HitRatePct float64        `json:"hit_rate_pct"`
+	Counters   api.ProxyStats `json:"counters"` // cached leg's proxy
+}
+
+// slowInjector adds delay to 1-in-every query/proximity requests through
+// the wrapped handler while enabled — an intermittent straggler.
+// Readiness probes and replication are never delayed (the follower must
+// stay caught up and in rotation; only its reads straggle).
+type slowInjector struct {
+	every  uint64
+	delay  time.Duration
+	on     atomic.Bool
+	n      atomic.Uint64
+	stalls atomic.Uint64
+}
+
+func (s *slowInjector) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := api.CanonicalPath(r.URL.Path)
+		isRead := p == api.PathQuery || p == api.PathProximity
+		if s.on.Load() && isRead && s.n.Add(1)%s.every == 0 {
+			s.stalls.Add(1)
+			select {
+			case <-time.After(s.delay):
+			case <-r.Context().Done():
+				return // the hedge winner cancelled this attempt
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// proxyTarget fronts the backends with a real internal/proxy edge tier
+// and returns a target whose router points at the proxy alone — every
+// operation (reads AND updates) flows through the edge tier, exactly how
+// a non-Go caller would reach the stack.
+func proxyTarget(ctx context.Context, b *backends, def Defaults, opts proxy.Options) (*target, *proxy.Proxy, error) {
+	runCtx, stopRun := context.WithCancel(ctx)
+	backRouter, err := probeRouter(runCtx, b)
+	if err != nil {
+		stopRun()
+		return nil, nil, err
+	}
+	p := proxy.New(backRouter, opts)
+	pts := httptest.NewServer(p)
+	return &target{
+		router: client.NewRouter(pts.URL, nil, b.hc),
+		names:  b.names,
+		class:  def.Class,
+		desc:   fmt.Sprintf("edge proxy (cache=%d hedge=%v) over loopback primary + %d followers", opts.CacheEntries, opts.Hedge, len(b.followerURLs)),
+		close: func() {
+			pts.Close()
+			stopRun()
+		},
+	}, p, nil
+}
+
+// settle runs between A/B legs. Everything here shares one process (and
+// usually one CI vCPU), and a leg that ends on its SLO-breaking rate
+// leaves a saturated heap behind — without an explicit GC + pause, the
+// NEXT leg pays that garbage off as p99 spikes and the A/B stops
+// measuring the feature under test.
+func settle() {
+	debug.FreeOSMemory()
+	time.Sleep(2 * time.Second)
+}
+
+// pickProxyScenarios selects the two workloads the proxy bench needs
+// from the suite: a pure-read uniform scenario for the hedge A/B (a
+// cacheable or mixed workload would blur what hedging did) and a
+// pure-read Zipf scenario for the cache A/B (a cache's win IS the hot
+// head). Selection is by shape, not name, and fails loudly.
+func pickProxyScenarios(cfg *Config) (readSc, zipfSc *Scenario, err error) {
+	pureRead := func(s *Scenario) bool {
+		return s.Mix.Query > 0 && s.Mix.Update == 0 && s.Mix.Proximity == 0 && s.Mix.Batch == 0
+	}
+	for i := range cfg.Scenarios {
+		s := &cfg.Scenarios[i]
+		if !pureRead(s) {
+			continue
+		}
+		if s.KeyDist == keyDistZipf && zipfSc == nil {
+			zipfSc = s
+		}
+		if s.KeyDist == keyDistUniform && readSc == nil {
+			readSc = s
+		}
+	}
+	if readSc == nil {
+		return nil, nil, fmt.Errorf("proxy bench needs a pure-read uniform scenario in the suite")
+	}
+	if zipfSc == nil {
+		return nil, nil, fmt.Errorf(`proxy bench needs a pure-read key_dist = "zipf" scenario in the suite`)
+	}
+	return readSc, zipfSc, nil
+}
+
+// runProxyBench is -mode proxy.
+func runProxyBench(ctx context.Context, cfg *Config, configPath string, window time.Duration, out string) error {
+	readSc, zipfSc, err := pickProxyScenarios(cfg)
+	if err != nil {
+		return err
+	}
+	def := cfg.Defaults
+	// 50x the suite's dataset: a cache hit costs the same however big the
+	// graph is, but the backend's candidate scan does not — the uncached
+	// knee must sit well below the rate the single-process harness itself
+	// can dispatch, or the A/B measures the harness ceiling, not the
+	// cache.
+	def.Users *= 50
+
+	// One follower becomes an intermittent straggler for the hedge A/B:
+	// the proxy's per-backend p95 budget stays at the fast baseline, so
+	// the injected stalls are exactly the reads a hedge should rescue.
+	inj := &slowInjector{every: 20, delay: 40 * time.Millisecond}
+	start := time.Now()
+	b, err := buildBackends(ctx, def, func(i int, h http.Handler) http.Handler {
+		if i == 0 {
+			return inj.wrap(h)
+		}
+		return h
+	})
+	if err != nil {
+		return err
+	}
+	defer b.close()
+	fmt.Printf("target up in %.1fs: edge proxy over loopback primary + %d followers, %d users\n",
+		time.Since(start).Seconds(), len(b.followerURLs), def.Users)
+
+	rep := &ProxyReport{
+		Benchmark:  "edge_proxy",
+		Config:     configPath,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC(),
+		Target:     fmt.Sprintf("internal/proxy edge tier over self-hosted loopback stack: durable primary + %d followers, %d users", def.Followers, def.Users),
+	}
+
+	// --- Hedge A/B: same scenario, same rate, straggler on; the only
+	// difference between the legs is Options.Hedge. The cache is off in
+	// BOTH legs so repeats of a hot anchor cannot absorb the stalls.
+	inj.on.Store(true)
+	hedgeLeg := func(hedge bool) (RateRow, api.ProxyStats, error) {
+		tgt, p, err := proxyTarget(ctx, b, def, proxy.Options{CacheEntries: 0, Hedge: hedge, HTTPClient: b.hc})
+		if err != nil {
+			return RateRow{}, api.ProxyStats{}, err
+		}
+		res, err := runScenario(ctx, tgt, readSc, def, modeSmoke, window)
+		if err != nil {
+			tgt.close()
+			return RateRow{}, api.ProxyStats{}, err
+		}
+		counters := p.Counters()
+		tgt.close()
+		settle()
+		return res.Rates[0], counters, nil
+	}
+	fmt.Printf("proxy   hedge A/B: %q at %d req/s, straggler follower: +%v on 1-in-%d reads\n",
+		readSc.Name, readSc.GateRate, inj.delay, inj.every)
+	unhedged, _, err := hedgeLeg(false)
+	if err != nil {
+		return err
+	}
+	hedged, hc, err := hedgeLeg(true)
+	if err != nil {
+		return err
+	}
+	inj.on.Store(false)
+
+	hr := HedgeResult{
+		Scenario:       readSc.Name,
+		RateQPS:        readSc.GateRate,
+		InjectedSlow:   fmt.Sprintf("follower 0: +%v on 1-in-%d reads", inj.delay, inj.every),
+		InjectedStalls: inj.stalls.Load(),
+		CapPct:         proxy.DefaultHedgeCapPct,
+		Unhedged:       unhedged,
+		Hedged:         hedged,
+		Counters:       hc,
+	}
+	if unhedged.Latency.P99Ms > 0 {
+		hr.P99CutPct = 100 * (1 - hedged.Latency.P99Ms/unhedged.Latency.P99Ms)
+	}
+	if hc.Reads > 0 {
+		hr.HedgeRatePct = 100 * float64(hc.HedgesIssued) / float64(hc.Reads)
+	}
+	rep.Hedge = hr
+	fmt.Printf("proxy   hedge: p99 %.2fms -> %.2fms (cut %.1f%%), hedge rate %.1f%% (cap %d%%), %d stalls injected\n",
+		unhedged.Latency.P99Ms, hedged.Latency.P99Ms, hr.P99CutPct, hr.HedgeRatePct, hr.CapPct, inj.stalls.Load())
+
+	// --- Cache A/B: the Zipf-hot sweep, cache off vs on. Hedging is off
+	// in both legs (no straggler is injected, so it would not fire — but
+	// keeping it off makes the legs identical except for the cache).
+	cacheLeg := func(entries int) (ScenarioResult, api.ProxyStats, error) {
+		tgt, p, err := proxyTarget(ctx, b, def, proxy.Options{CacheEntries: entries, Hedge: false, HTTPClient: b.hc})
+		if err != nil {
+			return ScenarioResult{}, api.ProxyStats{}, err
+		}
+		res, err := runScenario(ctx, tgt, zipfSc, def, modeFull, window)
+		if err != nil {
+			tgt.close()
+			return ScenarioResult{}, api.ProxyStats{}, err
+		}
+		counters := p.Counters()
+		tgt.close()
+		settle()
+		return res, counters, nil
+	}
+	const cacheEntries = 4096
+	fmt.Printf("proxy   cache A/B: %q (zipf s=%g) swept at %v\n", zipfSc.Name, zipfSc.ZipfS, zipfSc.Rates)
+	uncached, _, err := cacheLeg(0)
+	if err != nil {
+		return err
+	}
+	cached, cc, err := cacheLeg(cacheEntries)
+	if err != nil {
+		return err
+	}
+	cr := CacheResult{
+		Scenario: zipfSc.Name,
+		Entries:  cacheEntries,
+		Uncached: uncached,
+		Cached:   cached,
+		Counters: cc,
+	}
+	if uncached.MaxSustainableQPS > 0 {
+		cr.SpeedupX = float64(cached.MaxSustainableQPS) / float64(uncached.MaxSustainableQPS)
+	}
+	if lookups := cc.CacheHits + cc.CacheMisses; lookups > 0 {
+		cr.HitRatePct = 100 * float64(cc.CacheHits) / float64(lookups)
+	}
+	rep.Cache = cr
+	fmt.Printf("proxy   cache: max sustainable %d -> %d req/s (%.1fx), hit rate %.1f%%\n",
+		uncached.MaxSustainableQPS, cached.MaxSustainableQPS, cr.SpeedupX, cr.HitRatePct)
+
+	return report.EmitJSON(out, rep)
+}

@@ -31,6 +31,8 @@ type ScenarioResult struct {
 	Mix               map[string]float64 `json:"mix"`
 	K                 int                `json:"k,omitempty"`
 	BatchSize         int                `json:"batch_size,omitempty"`
+	KeyDist           string             `json:"key_dist,omitempty"`
+	ZipfS             float64            `json:"zipf_s,omitempty"`
 	SLOP99Ms          float64            `json:"slo_p99_ms"`
 	GateRateQPS       int                `json:"gate_rate_qps"`
 	MaxSustainableQPS int                `json:"max_sustainable_qps"`
@@ -62,11 +64,26 @@ type opDraw func(ctx context.Context) error
 // scenarios never collide on a name.
 var updateSeq atomic.Uint64
 
+// namePicker binds the scenario's anchor-popularity distribution to one
+// schedule rng: uniform over the name space by default, Zipf(s) when
+// key_dist = "zipf" so a hot head of anchors dominates the stream. The
+// sampler lives dispatcher-side like every other draw, so the schedule
+// stays a pure function of the seed regardless of distribution.
+func (s *Scenario) namePicker(rng *rand.Rand, names []string) func() string {
+	if s.KeyDist == keyDistZipf {
+		z := rand.NewZipf(rng, s.ZipfS, 1, uint64(len(names)-1))
+		return func() string { return names[z.Uint64()] }
+	}
+	return func() string { return names[rng.Intn(len(names))] }
+}
+
 // drawOp picks the next operation per the scenario mix and binds its
-// arguments from rng (dispatcher-side, deterministic).
-func drawOp(rng *rand.Rand, tgt *target, sc *Scenario) opDraw {
+// arguments from rng (dispatcher-side, deterministic). Anchor names come
+// from pickName so the scenario's key distribution applies uniformly to
+// every operation type.
+func drawOp(rng *rand.Rand, pickName func() string, tgt *target, sc *Scenario) opDraw {
 	pick := rng.Float64() * sc.Mix.total()
-	name := tgt.names[rng.Intn(len(tgt.names))]
+	name := pickName()
 	switch {
 	case pick < sc.Mix.Query:
 		return func(ctx context.Context) error {
@@ -84,7 +101,7 @@ func drawOp(rng *rand.Rand, tgt *target, sc *Scenario) opDraw {
 			return err
 		}
 	case pick < sc.Mix.Query+sc.Mix.Update+sc.Mix.Proximity:
-		other := tgt.names[rng.Intn(len(tgt.names))]
+		other := pickName()
 		return func(ctx context.Context) error {
 			_, err := tgt.router.Proximity(ctx, tgt.class, name, other)
 			return err
@@ -92,7 +109,7 @@ func drawOp(rng *rand.Rand, tgt *target, sc *Scenario) opDraw {
 	default:
 		batch := make([]string, sc.BatchSize)
 		for i := range batch {
-			batch[i] = tgt.names[rng.Intn(len(tgt.names))]
+			batch[i] = pickName()
 		}
 		return func(ctx context.Context) error {
 			_, err := tgt.router.QueryBatch(ctx, tgt.class, batch, sc.K)
@@ -109,6 +126,7 @@ func drawOp(rng *rand.Rand, tgt *target, sc *Scenario) opDraw {
 // charged from its scheduled arrival time.
 func openLoop(ctx context.Context, tgt *target, sc *Scenario, rate int, window time.Duration, seed int64) RateRow {
 	rng := rand.New(rand.NewSource(seed))
+	pickName := sc.namePicker(rng, tgt.names)
 	hist := loadstats.New()
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -123,7 +141,7 @@ func openLoop(ctx context.Context, tgt *target, sc *Scenario, rate int, window t
 		if offset > window || ctx.Err() != nil {
 			break
 		}
-		op := drawOp(rng, tgt, sc)
+		op := drawOp(rng, pickName, tgt, sc)
 		sched := start.Add(offset)
 		time.Sleep(time.Until(sched))
 		sent++
@@ -174,6 +192,8 @@ func runScenario(ctx context.Context, tgt *target, sc *Scenario, def Defaults, m
 		Mix:         sc.Mix.Map(),
 		K:           sc.K,
 		BatchSize:   sc.BatchSize,
+		KeyDist:     sc.KeyDist,
+		ZipfS:       sc.ZipfS,
 		SLOP99Ms:    float64(sc.SLOP99.Milliseconds()),
 		GateRateQPS: sc.GateRate,
 	}

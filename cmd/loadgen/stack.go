@@ -42,12 +42,26 @@ func loadClient() *http.Client {
 	return &http.Client{Transport: tr, Timeout: client.DefaultTimeout}
 }
 
-// selfHost stands up the real serving stack in-process: a trained engine
-// behind a durable primary (WAL in a temp dir) plus def.Followers real
-// followers bootstrapped and streaming over loopback HTTP — the same
-// wiring semproxd -wal / -follow runs, reached through the same public
-// client packages.
-func selfHost(ctx context.Context, def Defaults) (*target, error) {
+// backends is the raw self-hosted serving stack before any routing tier
+// is chosen: the primary and follower base URLs, the query name space,
+// and the shared HTTP client. selfHost fronts it with a client.Router
+// directly; -mode proxy fronts it with a real internal/proxy edge tier.
+type backends struct {
+	primaryURL   string
+	followerURLs []string
+	names        []string
+	hc           *http.Client
+	close        func()
+}
+
+// buildBackends stands up the real serving stack in-process: a trained
+// engine behind a durable primary (WAL in a temp dir) plus def.Followers
+// real followers bootstrapped and streaming over loopback HTTP — the
+// same wiring semproxd -wal / -follow runs. wrapFollower, when non-nil,
+// wraps each follower's HTTP handler (the proxy bench injects tail
+// latency into one follower this way); it sees the follower index and
+// must return a handler that still serves the wrapped one.
+func buildBackends(ctx context.Context, def Defaults, wrapFollower func(i int, h http.Handler) http.Handler) (*backends, error) {
 	ds := dataset.LinkedIn(dataset.Config{Users: def.Users, Seed: def.Seed, NoiseRate: 0.05})
 	labels, ok := ds.Classes[def.Class]
 	if !ok {
@@ -75,7 +89,7 @@ func selfHost(ctx context.Context, def Defaults) (*target, error) {
 			cleanups[i]()
 		}
 	}
-	fail := func(err error) (*target, error) {
+	fail := func(err error) (*backends, error) {
 		cleanup()
 		return nil, err
 	}
@@ -112,13 +126,16 @@ func selfHost(ctx context.Context, def Defaults) (*target, error) {
 		go f.Run(runCtx) //nolint:errcheck // ends with ctx
 		fsrv := server.New(f.Engine())
 		fsrv.SetFollower(f)
-		fts := httptest.NewServer(fsrv)
+		var h http.Handler = fsrv
+		if wrapFollower != nil {
+			h = wrapFollower(i, fsrv)
+		}
+		fts := httptest.NewServer(h)
 		cleanups = append(cleanups, fts.Close)
 		followers = append(followers, f)
 		urls = append(urls, fts.URL)
 	}
 
-	router := client.NewRouter(pts.URL, urls, hc)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		ready := 0
@@ -127,7 +144,7 @@ func selfHost(ctx context.Context, def Defaults) (*target, error) {
 				ready++
 			}
 		}
-		if ready == len(followers) && router.Probe(ctx) == len(followers) {
+		if ready == len(followers) {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -135,18 +152,59 @@ func selfHost(ctx context.Context, def Defaults) (*target, error) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	go router.Run(runCtx) //nolint:errcheck // ends with ctx
 
 	names := userNames(eng)
 	if len(names) == 0 {
 		return fail(fmt.Errorf("no user nodes to query"))
 	}
+	return &backends{
+		primaryURL:   pts.URL,
+		followerURLs: urls,
+		names:        names,
+		hc:           hc,
+		close:        cleanup,
+	}, nil
+}
+
+// probeRouter fronts the backends with a replica-aware Router, waits for
+// every follower to enter rotation, and starts the probe loop (which
+// ends with ctx).
+func probeRouter(ctx context.Context, b *backends) (*client.Router, error) {
+	router := client.NewRouter(b.primaryURL, b.followerURLs, b.hc)
+	deadline := time.Now().Add(30 * time.Second)
+	for router.Probe(ctx) < len(b.followerURLs) {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("only %d/%d followers entered rotation", router.Probe(ctx), len(b.followerURLs))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	go router.Run(ctx) //nolint:errcheck // ends with ctx
+	return router, nil
+}
+
+// selfHost is the default target: the self-hosted stack reached directly
+// through the replica-aware client.Router, no edge tier in between.
+func selfHost(ctx context.Context, def Defaults) (*target, error) {
+	b, err := buildBackends(ctx, def, nil)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, stopRun := context.WithCancel(ctx)
+	router, err := probeRouter(runCtx, b)
+	if err != nil {
+		stopRun()
+		b.close()
+		return nil, err
+	}
 	return &target{
 		router: router,
-		names:  names,
+		names:  b.names,
 		class:  def.Class,
 		desc:   fmt.Sprintf("self-hosted loopback stack: durable primary + %d followers, %d users", def.Followers, def.Users),
-		close:  cleanup,
+		close: func() {
+			stopRun()
+			b.close()
+		},
 	}, nil
 }
 

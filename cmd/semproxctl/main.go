@@ -60,7 +60,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the primary's /v1/stats")
 		ready     = flag.Bool("ready", false, "print readiness of the primary and every follower; non-zero exit if any is not ready")
 		timeout   = flag.Duration("timeout", 30*time.Second, "overall command timeout")
-		counts    = flag.Bool("counts", false, "print per-backend served counts after the reads, and routing transitions (admit/eject/primary change) as they happen, to stderr")
+		counts    = flag.Bool("counts", false, "print per-backend served counts after the reads, routing transitions (admit/eject/primary change) as they happen, and — with -stats against a semproxy edge tier — its hedge/cache counters, to stderr")
 	)
 	flag.Parse()
 	if err := run(*primary, *followers, *class, *query, *proxX, *proxY,
@@ -121,7 +121,27 @@ func run(primary, followers, class, query, proxX, proxY, update string,
 		if err != nil {
 			return err
 		}
-		return emit(st)
+		if err := emit(st); err != nil {
+			return err
+		}
+		// When -primary points at a semproxy edge tier, the stats response
+		// carries the proxy extension; -counts renders its hedge and cache
+		// counters the way it renders per-backend read counts.
+		if p := st.Proxy; counts && p != nil {
+			hedgeRate := 0.0
+			if p.Reads > 0 {
+				hedgeRate = 100 * float64(p.HedgesIssued) / float64(p.Reads)
+			}
+			fmt.Fprintf(os.Stderr, "semproxctl: edge reads: %d forwarded, hedges %d issued / %d won / %d cancelled (%.1f%% hedge rate)\n",
+				p.Reads, p.HedgesIssued, p.HedgesWon, p.HedgesCancelled, hedgeRate)
+			hitRate := 0.0
+			if lookups := p.CacheHits + p.CacheMisses; lookups > 0 {
+				hitRate = 100 * float64(p.CacheHits) / float64(lookups)
+			}
+			fmt.Fprintf(os.Stderr, "semproxctl: edge cache: %d hits / %d misses (%.1f%%), %d entries / %d bytes resident, %d evictions, %d epoch flushes, epoch %d\n",
+				p.CacheHits, p.CacheMisses, hitRate, p.CacheEntries, p.CacheBytes, p.CacheEvictions, p.EpochFlushes, p.Epoch)
+		}
+		return nil
 	case update != "":
 		var req api.UpdateRequest
 		dec := json.NewDecoder(strings.NewReader(update))

@@ -53,7 +53,8 @@ func log1p(c float64) float64 { return math.Log1p(c) }
 // Engine is the end-to-end semantic proximity search system.
 //
 // Thread safety: the engine serves every read — Query, QueryBatch,
-// Proximity, Weights, Classes, Graph, Epoch, MatchedCount, Stats, Save —
+// Proximity, Weights, Classes, Graph, Epoch, View, MatchedCount, Stats,
+// Save —
 // from an immutable epoch published through an atomic pointer, so reads
 // are always safe, always lock-free, and always see one consistent
 // (graph, index, classes) snapshot, never a mix of two generations.
@@ -356,6 +357,43 @@ func (e *Engine) Weights(class string) []float64 {
 	return w
 }
 
+// View pins the current serving epoch: every read through the returned
+// View — Query, QueryBatch, Proximity, Graph, Epoch — answers from the
+// SAME immutable (graph, index, classes) generation, even while updates
+// swap new epochs in concurrently. Engine.Query and Engine.Epoch each
+// load the epoch pointer independently, so a caller pairing their
+// results can observe a torn (result, epoch) combination across an
+// update; callers that need the pairing exact — the serving layer stamps
+// each response with the epoch that produced it so the edge cache can
+// key on it — take one View and read everything through it. Views are
+// cheap (one atomic load) and must not be retained beyond the request:
+// a held View keeps its whole epoch reachable.
+func (e *Engine) View() View { return View{e: e, ep: e.cur.Load()} }
+
+// View is one pinned serving epoch of an Engine (see Engine.View). Safe
+// for concurrent use; all methods describe the same generation.
+type View struct {
+	e  *Engine
+	ep *epoch
+}
+
+// Epoch returns the serving epoch counter of the pinned generation.
+func (v View) Epoch() uint64 { return v.ep.version }
+
+// Graph returns the graph of the pinned generation.
+func (v View) Graph() *Graph { return v.ep.g }
+
+// Classes returns the trained class names of the pinned generation,
+// sorted.
+func (v View) Classes() []string {
+	out := make([]string, 0, len(v.ep.classes))
+	for c := range v.ep.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Query ranks the nodes closest to q under the named class and returns
 // the top k (k <= 0 returns all candidates). The class must be trained.
 // The candidate scan shards over Options.Workers goroutines with per-shard
@@ -364,11 +402,16 @@ func (e *Engine) Weights(class string) []float64 {
 // Safe for concurrent use at any time, including while the engine trains,
 // applies updates, or compacts.
 func (e *Engine) Query(class string, q NodeID, k int) ([]Ranked, error) {
-	cm := e.cur.Load().classes[class]
+	return e.View().Query(class, q, k)
+}
+
+// Query is Engine.Query against the pinned epoch.
+func (v View) Query(class string, q NodeID, k int) ([]Ranked, error) {
+	cm := v.ep.classes[class]
 	if cm == nil {
 		return nil, fmt.Errorf("semprox: class %q not trained", class)
 	}
-	return core.RankTopSharded(cm.ix, cm.model.W, q, k, e.opts.Workers), nil
+	return core.RankTopSharded(cm.ix, cm.model.W, q, k, v.e.opts.Workers), nil
 }
 
 // QueryBatch answers many queries of one class in a single call, fanning
@@ -378,12 +421,17 @@ func (e *Engine) Query(class string, q NodeID, k int) ([]Ranked, error) {
 // the whole batch is answered from ONE epoch: a concurrent ApplyUpdate
 // never splits a batch across generations. Safe for concurrent use.
 func (e *Engine) QueryBatch(class string, qs []NodeID, k int) ([][]Ranked, error) {
-	cm := e.cur.Load().classes[class]
+	return e.View().QueryBatch(class, qs, k)
+}
+
+// QueryBatch is Engine.QueryBatch against the pinned epoch.
+func (v View) QueryBatch(class string, qs []NodeID, k int) ([][]Ranked, error) {
+	cm := v.ep.classes[class]
 	if cm == nil {
 		return nil, fmt.Errorf("semprox: class %q not trained", class)
 	}
 	out := make([][]Ranked, len(qs))
-	workers := index.Workers(e.opts.Workers)
+	workers := index.Workers(v.e.opts.Workers)
 	if workers > len(qs) {
 		workers = len(qs)
 	}
@@ -415,7 +463,12 @@ func (e *Engine) QueryBatch(class string, qs []NodeID, k int) ([][]Ranked, error
 // Proximity evaluates π(x, y) under the named class's learned weights.
 // Safe for concurrent use.
 func (e *Engine) Proximity(class string, x, y NodeID) (float64, error) {
-	cm := e.cur.Load().classes[class]
+	return e.View().Proximity(class, x, y)
+}
+
+// Proximity is Engine.Proximity against the pinned epoch.
+func (v View) Proximity(class string, x, y NodeID) (float64, error) {
+	cm := v.ep.classes[class]
 	if cm == nil {
 		return 0, fmt.Errorf("semprox: class %q not trained", class)
 	}

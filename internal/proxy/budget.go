@@ -1,0 +1,67 @@
+package proxy
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/loadstats"
+)
+
+const (
+	// budgetWindow is how many samples one histogram holds before the
+	// rotating pair swaps; the estimate always covers the last one-to-two
+	// windows, so a backend that was slow an hour ago doesn't keep paying
+	// a tight budget forever.
+	budgetWindow = 1024
+	// budgetRefresh is how often (in samples) the cached p95 is
+	// recomputed; quantile reads walk every bucket, so computing per
+	// sample would put a scan on the hot path for no accuracy gain.
+	budgetRefresh = 64
+)
+
+// estimator tracks one backend's trailing read-latency p95 — the hedge
+// budget: a request still unanswered past the backend's own p95 is, by
+// definition, in that backend's slowest 5%, which is exactly the
+// straggler population hedging exists to cut. A rotating pair of
+// streaming histograms (internal/loadstats, ≤1/64 relative error) keeps
+// the estimate trailing: samples land in cur, the quantile reads
+// prev+cur merged, and when cur fills a window it becomes prev — so the
+// estimate spans the last 1–2 windows and old behaviour ages out.
+// Only successful, non-cancelled attempts are recorded: errors return
+// fast and cancelled hedge losers stop early; either would drag the p95
+// down and make the proxy hedge everything.
+type estimator struct {
+	mu     sync.Mutex
+	cur    *loadstats.Hist
+	prev   *loadstats.Hist
+	cached time.Duration // last computed p95; 0 until first refresh
+}
+
+func newEstimator() *estimator {
+	return &estimator{cur: loadstats.New(), prev: loadstats.New()}
+}
+
+// observe records one successful read's latency and refreshes the cached
+// p95 every budgetRefresh samples.
+func (e *estimator) observe(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cur.RecordDuration(d)
+	if e.cached == 0 || e.cur.Count()%budgetRefresh == 0 {
+		m := loadstats.New()
+		m.Merge(e.prev)
+		m.Merge(e.cur)
+		e.cached = time.Duration(m.Quantile(0.95))
+	}
+	if e.cur.Count() >= budgetWindow {
+		e.prev, e.cur = e.cur, loadstats.New()
+	}
+}
+
+// value returns the current p95 estimate, or 0 when no sample has been
+// recorded yet (the caller falls back to the configured default).
+func (e *estimator) value() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cached
+}

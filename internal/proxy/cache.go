@@ -1,0 +1,150 @@
+package proxy
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the epoch-keyed bounded LRU over read responses. Conceptually
+// every entry is keyed by (request key, epoch) — the ISSUE's
+// (endpoint, anchor, class, k, epoch) — but since lookups only ever ask
+// for the CURRENT epoch, the implementation keeps a single-epoch
+// residency invariant instead of widening the map key: every resident
+// entry's epoch equals the tracker's current epoch, and advancing the
+// tracker flushes the whole map in one move. Stale entries are therefore
+// unreachable by construction — there is no TTL, no per-entry validation,
+// and no window where a lookup can return bytes from a previous
+// generation once the bump is observed.
+//
+// Entries are filled from backend responses that carry their exact data
+// epoch (api.HeaderEpoch, stamped from the same pinned engine View that
+// computed the body). A fill whose epoch is OLDER than the tracker —
+// a lagging follower answered after the proxy already saw a newer
+// generation — is dropped, never cached: admitting it would resurrect
+// stale bytes under a current-epoch lookup. A fill whose epoch is NEWER
+// advances the tracker first (the response itself is the freshest epoch
+// signal the proxy has) and lands in the fresh generation.
+type cache struct {
+	mu  sync.Mutex
+	cap int // <= 0 disables storage; lookups miss, fills drop
+
+	epoch   uint64 // current tracker epoch; every resident entry matches it
+	byKey   map[string]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int        // resident body bytes, for stats
+	hits    uint64
+	misses  uint64
+	evicts  uint64
+	flushes uint64 // epoch advances that flushed the map
+}
+
+// centry is one resident response body.
+type centry struct {
+	key   string
+	epoch uint64
+	body  []byte
+}
+
+func newCache(capEntries int) *cache {
+	return &cache{
+		cap:   capEntries,
+		byKey: make(map[string]*list.Element),
+		lru:   list.New(),
+	}
+}
+
+// get returns the cached body for key at the CURRENT epoch, plus the
+// epoch it was computed under (for the response header).
+func (c *cache) get(key string) (body []byte, epoch uint64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	en := el.Value.(*centry)
+	return en.body, en.epoch, true
+}
+
+// put offers a response body computed under the given epoch. Fills older
+// than the tracker are dropped (stale), fills newer advance the tracker
+// (flushing every older entry) and then land.
+func (c *cache) put(key string, epoch uint64, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch > c.epoch {
+		c.advanceLocked(epoch)
+	} else if epoch < c.epoch {
+		return // a lagging replica's answer; current-epoch lookups must never see it
+	}
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		// A concurrent miss already filled it; same (key, epoch) means the
+		// same bytes (that is the cached-equals-fresh invariant), so keep
+		// the resident copy.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&centry{key: key, epoch: epoch, body: body})
+	c.bytes += len(body)
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		en := back.Value.(*centry)
+		c.lru.Remove(back)
+		delete(c.byKey, en.key)
+		c.bytes -= len(en.body)
+		c.evicts++
+	}
+}
+
+// advance moves the tracker to epoch if it is newer, flushing every
+// resident entry (they all belong to an older generation). Signals come
+// from update responses through the proxy, the stats poll, and read
+// response headers (via put).
+func (c *cache) advance(epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch > c.epoch {
+		c.advanceLocked(epoch)
+	}
+}
+
+func (c *cache) advanceLocked(epoch uint64) {
+	c.epoch = epoch
+	if c.lru.Len() > 0 {
+		c.byKey = make(map[string]*list.Element)
+		c.lru.Init()
+		c.bytes = 0
+	}
+	c.flushes++
+}
+
+// cacheCounters is a point-in-time snapshot for the stats extension.
+type cacheCounters struct {
+	epoch   uint64
+	entries int
+	bytes   int
+	hits    uint64
+	misses  uint64
+	evicts  uint64
+	flushes uint64
+}
+
+func (c *cache) counters() cacheCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheCounters{
+		epoch:   c.epoch,
+		entries: c.lru.Len(),
+		bytes:   c.bytes,
+		hits:    c.hits,
+		misses:  c.misses,
+		evicts:  c.evicts,
+		flushes: c.flushes,
+	}
+}

@@ -1,0 +1,92 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCacheEpochFlush(t *testing.T) {
+	c := newCache(16)
+	c.put("k", 1, []byte("v1"))
+	if body, epoch, ok := c.get("k"); !ok || string(body) != "v1" || epoch != 1 {
+		t.Fatalf("get = %q, %d, %v", body, epoch, ok)
+	}
+	c.advance(2)
+	if _, _, ok := c.get("k"); ok {
+		t.Fatal("entry survived an epoch bump")
+	}
+	cc := c.counters()
+	if cc.flushes != 2 { // put's 0→1 advance, then 1→2
+		t.Fatalf("flushes = %d, want 2", cc.flushes)
+	}
+	if cc.epoch != 2 || cc.entries != 0 || cc.bytes != 0 {
+		t.Fatalf("counters after flush = %+v", cc)
+	}
+}
+
+func TestCacheStaleFillDropped(t *testing.T) {
+	c := newCache(16)
+	c.advance(5)
+	// A lagging replica answers with epoch-3 bytes after the proxy already
+	// saw epoch 5: caching it would serve stale data under current-epoch
+	// lookups.
+	c.put("k", 3, []byte("stale"))
+	if _, _, ok := c.get("k"); ok {
+		t.Fatal("stale fill was admitted")
+	}
+	// A FRESHER fill than the tracker advances it and lands.
+	c.put("k", 6, []byte("fresh"))
+	if body, epoch, ok := c.get("k"); !ok || string(body) != "fresh" || epoch != 6 {
+		t.Fatalf("get = %q, %d, %v", body, epoch, ok)
+	}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	c := newCache(4)
+	for i := 0; i < 6; i++ {
+		c.put(fmt.Sprintf("k%d", i), 1, []byte{byte(i)})
+	}
+	cc := c.counters()
+	if cc.entries != 4 || cc.evicts != 2 {
+		t.Fatalf("entries = %d, evicts = %d, want 4 and 2", cc.entries, cc.evicts)
+	}
+	for i, wantHit := range []bool{false, false, true, true, true, true} {
+		if _, _, ok := c.get(fmt.Sprintf("k%d", i)); ok != wantHit {
+			t.Fatalf("k%d hit = %v, want %v (LRU should evict oldest first)", i, ok, wantHit)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(0)
+	c.put("k", 1, []byte("v"))
+	if _, _, ok := c.get("k"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if cc := c.counters(); cc.epoch != 1 {
+		t.Fatalf("disabled cache must still track the epoch, got %d", cc.epoch)
+	}
+}
+
+func TestEstimatorTracksP95(t *testing.T) {
+	e := newEstimator()
+	for i := 0; i < 200; i++ {
+		d := time.Millisecond
+		if i%20 == 0 { // a 5% straggler tail
+			d = 50 * time.Millisecond
+		}
+		e.observe(d)
+	}
+	got := e.value()
+	if got < time.Millisecond || got > 60*time.Millisecond {
+		t.Fatalf("p95 estimate = %v, want within [1ms, 60ms]", got)
+	}
+	// Rotation: cross the window boundary and keep answering.
+	for i := 0; i < budgetWindow; i++ {
+		e.observe(2 * time.Millisecond)
+	}
+	if got := e.value(); got < time.Millisecond || got > 60*time.Millisecond {
+		t.Fatalf("post-rotation estimate = %v", got)
+	}
+}

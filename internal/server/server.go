@@ -24,6 +24,11 @@
 //	GET  /v1/replicate/since      WAL records after an LSN, long-polling
 //	                              (503 unless a WAL is attached)
 //
+// Query and proximity responses carry the serving epoch that computed
+// them in the api.HeaderEpoch response header — transport metadata, so
+// bodies stay byte-identical across replicas — which is what lets the
+// semproxy edge cache key entries by exact data generation.
+//
 // Every error is the api package's structured envelope —
 // {"error":{"code","message"}} — with a 4xx status for client mistakes
 // (unknown class, node or type, malformed JSON, oversized batch), so
@@ -279,29 +284,39 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any) *api.Error {
 	return nil
 }
 
-// resolveClass 404s for classes the engine has not trained.
-func resolveClass(eng *semprox.Engine, class string) *api.Error {
+// resolveClass 404s for classes the serving epoch has not trained.
+func resolveClass(classes []string, class string) *api.Error {
 	if class == "" {
 		return errBadRequest("missing class")
 	}
-	for _, c := range eng.Classes() {
+	for _, c := range classes {
 		if c == class {
 			return nil
 		}
 	}
-	return errNotFound(api.CodeClassNotFound, "class %q not trained (have %v)", class, eng.Classes())
+	return errNotFound(api.CodeClassNotFound, "class %q not trained (have %v)", class, classes)
 }
 
 // resolveNode maps a node name to its id, 404ing unknown names.
-func resolveNode(eng *semprox.Engine, field, name string) (semprox.NodeID, *api.Error) {
+func resolveNode(g *semprox.Graph, field, name string) (semprox.NodeID, *api.Error) {
 	if name == "" {
 		return semprox.InvalidNode, errBadRequest("missing %s", field)
 	}
-	id := eng.Graph().NodeByName(name)
+	id := g.NodeByName(name)
 	if id == semprox.InvalidNode {
 		return semprox.InvalidNode, errNotFound(api.CodeNodeNotFound, "node %q not in graph", name)
 	}
 	return id, nil
+}
+
+// setEpochHeader stamps a read response with the serving epoch that
+// produced it (api.HeaderEpoch). The value comes from the SAME pinned
+// View the results were computed on — reading Engine.Epoch separately
+// here could pair an old epoch's results with a new epoch's counter
+// across a concurrent update, exactly the torn pairing an epoch-keyed
+// edge cache cannot tolerate.
+func setEpochHeader(w http.ResponseWriter, v semprox.View) {
+	w.Header().Set(api.HeaderEpoch, strconv.FormatUint(v.Epoch(), 10))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -358,8 +373,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.K == 0 {
 		req.K = defaultK
 	}
-	eng := s.engine()
-	if herr := resolveClass(eng, req.Class); herr != nil {
+	// One pinned View answers the whole request — name resolution, the
+	// scan, and the epoch header all describe the same generation, even
+	// if an update swaps a new epoch in mid-request.
+	v := s.engine().View()
+	if herr := resolveClass(v.Classes(), req.Class); herr != nil {
 		writeErr(w, herr)
 		return
 	}
@@ -367,64 +385,65 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case req.Query != "" && len(req.Queries) > 0:
 		writeErr(w, errBadRequest("set query or queries, not both"))
 	case req.Query != "":
-		querySingle(w, eng, req)
+		querySingle(w, v, req)
 	case len(req.Queries) > 0:
-		queryBatch(w, eng, req)
+		queryBatch(w, v, req)
 	default:
 		writeErr(w, errBadRequest("missing query"))
 	}
 }
 
 // querySingle answers one query through the sharded scan.
-func querySingle(w http.ResponseWriter, eng *semprox.Engine, req api.QueryRequest) {
-	q, herr := resolveNode(eng, "query", req.Query)
+func querySingle(w http.ResponseWriter, v semprox.View, req api.QueryRequest) {
+	q, herr := resolveNode(v.Graph(), "query", req.Query)
 	if herr != nil {
 		writeErr(w, herr)
 		return
 	}
-	ranked, err := eng.Query(req.Class, q, req.K)
+	ranked, err := v.Query(req.Class, q, req.K)
 	if err != nil {
 		writeErr(w, errNotFound(api.CodeClassNotFound, "%v", err))
 		return
 	}
+	setEpochHeader(w, v)
 	writeJSON(w, http.StatusOK, api.QueryResponse{
 		Class:   req.Class,
 		K:       req.K,
-		Results: []api.QueryResult{render(eng, req.Query, ranked)},
+		Results: []api.QueryResult{render(v.Graph(), req.Query, ranked)},
 	})
 }
 
 // queryBatch resolves every query name, then answers them in one
 // QueryBatch call that fans out over the engine's workers.
-func queryBatch(w http.ResponseWriter, eng *semprox.Engine, req api.QueryRequest) {
+func queryBatch(w http.ResponseWriter, v semprox.View, req api.QueryRequest) {
 	if len(req.Queries) > MaxBatch {
 		writeErr(w, errBadRequest("batch of %d queries exceeds limit %d", len(req.Queries), MaxBatch))
 		return
 	}
 	qs := make([]semprox.NodeID, len(req.Queries))
 	for i, name := range req.Queries {
-		q, herr := resolveNode(eng, fmt.Sprintf("queries[%d]", i), name)
+		q, herr := resolveNode(v.Graph(), fmt.Sprintf("queries[%d]", i), name)
 		if herr != nil {
 			writeErr(w, herr)
 			return
 		}
 		qs[i] = q
 	}
-	rankings, err := eng.QueryBatch(req.Class, qs, req.K)
+	rankings, err := v.QueryBatch(req.Class, qs, req.K)
 	if err != nil {
 		writeErr(w, errNotFound(api.CodeClassNotFound, "%v", err))
 		return
 	}
 	out := api.QueryResponse{Class: req.Class, K: req.K, Results: make([]api.QueryResult, len(rankings))}
 	for i, ranked := range rankings {
-		out.Results[i] = render(eng, req.Queries[i], ranked)
+		out.Results[i] = render(v.Graph(), req.Queries[i], ranked)
 	}
+	setEpochHeader(w, v)
 	writeJSON(w, http.StatusOK, out)
 }
 
 // render converts one engine ranking to its wire shape.
-func render(eng *semprox.Engine, query string, ranked []semprox.Ranked) api.QueryResult {
-	g := eng.Graph()
+func render(g *semprox.Graph, query string, ranked []semprox.Ranked) api.QueryResult {
 	out := api.QueryResult{Query: query, Results: make([]api.RankedResult, len(ranked))}
 	for i, r := range ranked {
 		out.Results[i] = api.RankedResult{Node: int32(r.Node), Name: g.Name(r.Node), Score: r.Score}
@@ -733,25 +752,26 @@ func (s *Server) handleProximity(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, herr)
 		return
 	}
-	eng := s.engine()
-	if herr := resolveClass(eng, req.Class); herr != nil {
+	v := s.engine().View()
+	if herr := resolveClass(v.Classes(), req.Class); herr != nil {
 		writeErr(w, herr)
 		return
 	}
-	x, herr := resolveNode(eng, "x", req.X)
+	x, herr := resolveNode(v.Graph(), "x", req.X)
 	if herr != nil {
 		writeErr(w, herr)
 		return
 	}
-	y, herr := resolveNode(eng, "y", req.Y)
+	y, herr := resolveNode(v.Graph(), "y", req.Y)
 	if herr != nil {
 		writeErr(w, herr)
 		return
 	}
-	p, err := eng.Proximity(req.Class, x, y)
+	p, err := v.Proximity(req.Class, x, y)
 	if err != nil {
 		writeErr(w, errNotFound(api.CodeClassNotFound, "%v", err))
 		return
 	}
+	setEpochHeader(w, v)
 	writeJSON(w, http.StatusOK, api.ProximityResponse{Class: req.Class, X: req.X, Y: req.Y, Proximity: p})
 }

@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Edge-tier smoke test: build semproxd + semproxy + semproxctl, run a
+# durable primary and two followers on loopback behind a REAL semproxy
+# edge proxy, and prove the two edge-tier claims end to end:
+#
+#   1. The epoch-keyed cache serves repeat reads byte-identically
+#      (miss -> hit), and an update THROUGH the proxy flushes it — the
+#      next read is a miss under a bumped epoch, never stale bytes.
+#   2. kill -9 the primary under a live reader: every read through the
+#      proxy keeps succeeding off the caught-up followers (zero failed
+#      reads), and writes fail loudly (no primary owns them).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. "$(dirname "$0")/smoke_lib.sh"
+
+PRIMARY=127.0.0.1:18111
+FOLLOWER1=127.0.0.1:18112
+FOLLOWER2=127.0.0.1:18113
+PROXY=127.0.0.1:18110
+smoke_init
+primary_pid=""
+f1_pid=""
+f2_pid=""
+proxy_pid=""
+cleanup() {
+    [ -n "$proxy_pid" ] && kill "$proxy_pid" 2>/dev/null || true
+    [ -n "$f2_pid" ] && kill "$f2_pid" 2>/dev/null || true
+    [ -n "$f1_pid" ] && kill "$f1_pid" 2>/dev/null || true
+    [ -n "$primary_pid" ] && kill "$primary_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+    smoke_cleanup_tmp
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmp/semproxd" ./cmd/semproxd
+go build -o "$tmp/semproxy" ./cmd/semproxy
+go build -o "$tmp/semproxctl" ./cmd/semproxctl
+
+echo "== start durable primary on $PRIMARY and two followers"
+start_daemon "$logdir/proxy_primary.log" "http://$PRIMARY/v1/healthz" \
+    "$tmp/semproxd" -addr "$PRIMARY" -dataset linkedin -users 200 -classes college \
+    -wal "$tmp/wal"
+primary_pid=$daemon_pid
+start_daemon "$logdir/proxy_follower1.log" "http://$FOLLOWER1/v1/healthz" \
+    "$tmp/semproxd" -addr "$FOLLOWER1" -follow "http://$PRIMARY"
+f1_pid=$daemon_pid
+start_daemon "$logdir/proxy_follower2.log" "http://$FOLLOWER2/v1/healthz" \
+    "$tmp/semproxd" -addr "$FOLLOWER2" -follow "http://$PRIMARY"
+f2_pid=$daemon_pid
+
+echo "== start the semproxy edge tier on $PROXY"
+start_daemon "$logdir/proxy_edge.log" "http://$PROXY/v1/healthz" \
+    "$tmp/semproxy" -addr "$PROXY" -primary "http://$PRIMARY" \
+    -followers "http://$FOLLOWER1,http://$FOLLOWER2" -stats-poll 200ms
+proxy_pid=$daemon_pid
+role=$(curl -fsS "http://$PROXY/v1/readyz" | jq -r .role)
+[ "$role" = proxy ] || {
+    echo "FAIL: proxy readyz role = $role, want proxy" >&2
+    exit 1
+}
+
+echo "== repeat read through the proxy: miss then byte-identical hit"
+Q="http://$PROXY/v1/query?class=college&query=user-17&k=5"
+curl -fsS -D "$tmp/h1" "$Q" -o "$tmp/b1"
+curl -fsS -D "$tmp/h2" "$Q" -o "$tmp/b2"
+grep -qi '^x-semprox-cache: miss' "$tmp/h1" || {
+    echo "FAIL: first read was not a cache miss" >&2
+    cat "$tmp/h1" >&2
+    exit 1
+}
+grep -qi '^x-semprox-cache: hit' "$tmp/h2" || {
+    echo "FAIL: repeat read was not a cache hit" >&2
+    cat "$tmp/h2" >&2
+    exit 1
+}
+cmp -s "$tmp/b1" "$tmp/b2" || {
+    echo "FAIL: cached response bytes diverged from the fresh ones" >&2
+    exit 1
+}
+epoch1=$(grep -i '^x-semprox-epoch:' "$tmp/h1" | tr -dc 0-9)
+
+echo "== update through the proxy bumps the epoch and flushes the cache"
+curl -fsS "http://$PROXY/v1/update" \
+    -d '{"nodes":[{"type":"user","name":"edge-1"}],"edges":[{"u":"edge-1","v":"user-17"}]}' >/dev/null
+curl -fsS -D "$tmp/h3" "$Q" -o /dev/null
+grep -qi '^x-semprox-cache: miss' "$tmp/h3" || {
+    echo "FAIL: read after the epoch bump still served the cached entry" >&2
+    cat "$tmp/h3" >&2
+    exit 1
+}
+
+echo "== the bumped epoch becomes cacheable once the followers catch up"
+ok=""
+for _ in $(seq 1 240); do
+    curl -fsS "$Q" >/dev/null
+    curl -fsS -D "$tmp/h4" "$Q" -o /dev/null
+    if grep -qi '^x-semprox-cache: hit' "$tmp/h4"; then
+        epoch2=$(grep -i '^x-semprox-epoch:' "$tmp/h4" | tr -dc 0-9)
+        [ "$epoch2" -gt "$epoch1" ] && ok=1 && break
+    fi
+    sleep 0.25
+done
+[ -n "$ok" ] || {
+    echo "FAIL: post-update reads never became cache hits under a newer epoch" >&2
+    cat "$logdir/proxy_edge.log" >&2
+    exit 1
+}
+
+echo "== the stats extension reports the flush, and semproxctl -counts renders it"
+"$tmp/semproxctl" -primary "http://$PROXY" -stats -counts >"$tmp/stats.json" 2>"$tmp/stats.err"
+flushes=$(jq -r .proxy.epoch_flushes "$tmp/stats.json")
+hits=$(jq -r .proxy.cache_hits "$tmp/stats.json")
+[ "$flushes" -ge 1 ] && [ "$hits" -ge 1 ] || {
+    echo "FAIL: proxy stats extension missing the flush/hit counters" >&2
+    cat "$tmp/stats.json" >&2
+    exit 1
+}
+grep -q 'edge cache:' "$tmp/stats.err" || {
+    echo "FAIL: semproxctl -counts did not render the edge cache counters" >&2
+    cat "$tmp/stats.err" >&2
+    exit 1
+}
+
+echo "== kill -9 the primary under a live reader: zero failed reads through the proxy"
+# 100 DISTINCT anchors so every read is a real forward (no cache hit can
+# mask a failover), with the primary dying a third of the way in.
+: >"$tmp/read_errors"
+(
+    for i in $(seq 0 99); do
+        curl -fsS "http://$PROXY/v1/query?class=college&query=user-$((i % 100))&k=3" \
+            -o /dev/null 2>>"$tmp/read_errors" || echo "read $i failed" >>"$tmp/read_errors"
+    done
+) &
+reader_pid=$!
+sleep 0.5
+kill -9 "$primary_pid"
+wait "$primary_pid" 2>/dev/null || true
+primary_pid=""
+wait "$reader_pid"
+if [ -s "$tmp/read_errors" ]; then
+    echo "FAIL: reads failed through the proxy during primary death:" >&2
+    cat "$tmp/read_errors" >&2
+    cat "$logdir/proxy_edge.log" >&2
+    exit 1
+fi
+role=$(curl -fsS "http://$PROXY/v1/readyz" | jq -r .status)
+[ "$role" = ready ] || {
+    echo "FAIL: proxy not ready after primary death (followers still live): $role" >&2
+    exit 1
+}
+
+echo "== writes through the proxy must now fail loudly"
+if curl -fsS "http://$PROXY/v1/update" \
+    -d '{"nodes":[{"type":"user","name":"orphan"}]}' >/dev/null 2>&1; then
+    echo "FAIL: update through the proxy succeeded with a dead primary" >&2
+    exit 1
+fi
+
+echo "OK: edge tier cached byte-identically, flushed on the epoch bump, and served zero failed reads across a primary kill"
