@@ -18,13 +18,15 @@
 #              gate rate vs the committed BENCH_load.json), and the edge
 #              proxy smoke (semproxy over real semproxd processes:
 #              epoch-keyed cache flush + zero failed reads across a
-#              primary kill).
+#              primary kill), and the observability smoke (/metrics on
+#              real daemons with moving counters, one trace ID across
+#              the proxy and backend request logs, pprof answering).
 GO ?= go
 COVER_FLOOR ?= 80
 
-.PHONY: ci lint vet build test cover bench-smoke bench replication-smoke routing-smoke failover-smoke proxy-smoke load-smoke load-smoke-e2e load-gate load-bench proxy-bench
+.PHONY: ci lint vet build test cover bench-smoke bench replication-smoke routing-smoke failover-smoke proxy-smoke obs-smoke load-smoke load-smoke-e2e load-gate load-bench proxy-bench
 
-ci: lint build test cover bench-smoke replication-smoke routing-smoke failover-smoke proxy-smoke load-smoke load-gate
+ci: lint build test cover bench-smoke replication-smoke routing-smoke failover-smoke proxy-smoke obs-smoke load-smoke load-gate
 
 # gofmt must be a no-op and vet must be clean; staticcheck runs too when
 # the host has it installed (the dev container may not). CI installs a
@@ -56,7 +58,7 @@ test:
 # any drop is a regression, not noise.
 COVER_PKGS ?= internal/core internal/server api client \
 	internal/wal:80 internal/replica:75 internal/loadstats:90 internal/report:85 \
-	internal/proxy:85
+	internal/proxy:85 internal/obs:85
 cover:
 	@for entry in $(COVER_PKGS); do \
 		pkg=$${entry%%:*}; floor=$${entry#*:}; \
@@ -110,6 +112,16 @@ failover-smoke:
 # must lose zero reads (see scripts/proxy_smoke.sh).
 proxy-smoke:
 	bash scripts/proxy_smoke.sh
+
+# Observability smoke: real semproxd + semproxy daemons on loopback;
+# /metrics must expose the WAL fsync latency, replication lag,
+# per-endpoint latency, and hedge/cache families with counters that MOVE
+# under traffic, one caller-supplied trace ID must appear in both the
+# proxy's and a backend's request logs, the -debug-addr pprof listener
+# must answer, and semproxctl -metrics must fetch a prefix-filtered
+# exposition (see scripts/obs_smoke.sh).
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 # Open-loop load smoke: stand up the real serving stack (durable primary
 # + 2 followers behind the routed client, in-process), fire every

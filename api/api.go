@@ -85,6 +85,15 @@ func CanonicalPath(p string) string {
 // additive transport metadata; adding one is a compatible /v1 change.
 const HeaderEpoch = "X-Semprox-Epoch"
 
+// HeaderTrace carries the per-request trace ID: minted at the first tier
+// that sees a request (the semproxy edge, or a server hit directly),
+// accepted verbatim when the caller already set one, and echoed on every
+// response — success or error envelope — so one failed routed read is
+// greppable across proxy and backend structured log lines. Like
+// HeaderEpoch it is transport metadata only: the ID never appears in a
+// response body, preserving byte-identity across replicas and aliases.
+const HeaderTrace = "X-Semprox-Trace"
+
 // Request limits, enforced server-side with CodeBadRequest. Clients that
 // pre-validate against the same constants never burn a round trip on an
 // oversized request.

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/api"
+	"repro/internal/obs"
 )
 
 // DefaultTimeout bounds one HTTP request (connection + response) when
@@ -72,6 +73,23 @@ func New(baseURL string, hc *http.Client) *Client {
 
 // BaseURL returns the server base URL this client speaks to.
 func (c *Client) BaseURL() string { return c.base }
+
+// WithTrace returns ctx carrying a request trace ID: every request made
+// with the returned context sends it in api.HeaderTrace, so one routed
+// operation shares a single ID across proxy and backend log lines. The
+// serving tiers set this automatically for requests they forward; call
+// it directly to stamp your own operations.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return obs.WithTrace(ctx, id)
+}
+
+// setTrace stamps the outgoing request with the context's trace ID, when
+// one is present.
+func setTrace(ctx context.Context, req *http.Request) {
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(api.HeaderTrace, id)
+	}
+}
 
 // Query answers one ranked query. k <= 0 requests the server default
 // (api.DefaultK).
@@ -151,6 +169,7 @@ func (c *Client) Ready(ctx context.Context) (api.ReadyResponse, error) {
 	if err != nil {
 		return out, fmt.Errorf("client: %w", err)
 	}
+	setTrace(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return out, fmt.Errorf("client: readyz: %w", err)
@@ -203,7 +222,12 @@ func (c *Client) ReplicateSince(ctx context.Context, after, afterTerm uint64, ma
 	}
 	u := c.base + api.PathReplicateSince + "?" + q.Encode()
 	err := c.doWith(ctx, hc, func() (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		setTrace(ctx, req)
+		return req, nil
 	}, &out, false)
 	return out, err
 }
@@ -216,6 +240,7 @@ func (c *Client) ReplicateSnapshot(ctx context.Context) (io.ReadCloser, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
+	setTrace(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: snapshot: %w", err)
@@ -234,7 +259,12 @@ func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out
 		u += "?" + query.Encode()
 	}
 	return c.do(ctx, func() (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		setTrace(ctx, req)
+		return req, nil
 	}, out, retry)
 }
 
@@ -251,6 +281,7 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any, retry b
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		setTrace(ctx, req)
 		return req, nil
 	}, out, retry)
 }
@@ -314,17 +345,74 @@ func (c *Client) doWith(ctx context.Context, hc *http.Client, mkReq func() (*htt
 // decodeError turns a non-2xx response into *api.Error: the structured
 // envelope when the server sent one, a synthesized CodeInternal error
 // (carrying a body excerpt) when it did not — so callers always get the
-// same error type with the HTTP status attached.
+// same error type with the HTTP status attached. When the response
+// carries a trace ID (api.HeaderTrace — every instrumented tier stamps
+// it, error envelopes included), the message carries it too, so a failed
+// routed read is greppable across proxy and backend log lines. The
+// suffix is added once: an error relayed through the edge proxy arrives
+// already stamped with the same propagated ID.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e *api.Error
 	var env api.ErrorEnvelope
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
-		e := env.Error
+		e = &env.Error
 		e.Status = resp.StatusCode
-		return &e
+	} else {
+		e = api.Errorf(resp.StatusCode, api.CodeInternal,
+			"server returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
-	return api.Errorf(resp.StatusCode, api.CodeInternal,
-		"server returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	if trace := resp.Header.Get(api.HeaderTrace); trace != "" && !strings.Contains(e.Message, "[trace ") {
+		e.Message += " [trace " + trace + "]"
+	}
+	return e
+}
+
+// Metrics fetches the server's Prometheus text exposition from /metrics,
+// under the same retry/backoff discipline as the typed reads (transport
+// errors and 5xx retry, 4xx does not).
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	attempts := 1 + max(c.Retries, 0)
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			select {
+			case <-ctx.Done():
+				return "", fmt.Errorf("client: %w (after %v)", ctx.Err(), lastErr)
+			case <-time.After(c.RetryBackoff):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+		if err != nil {
+			return "", fmt.Errorf("client: %w", err)
+		}
+		setTrace(ctx, req)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("client: metrics: %w", err)
+			if ctx.Err() != nil {
+				return "", lastErr
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := decodeError(resp)
+			drain(resp.Body)
+			if resp.StatusCode >= 500 {
+				lastErr = err
+				continue
+			}
+			return "", err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		drain(resp.Body)
+		if err != nil {
+			lastErr = fmt.Errorf("client: metrics: %w", err)
+			continue
+		}
+		return string(body), nil
+	}
+	return "", lastErr
 }
 
 // drain consumes and closes a response body so the underlying connection

@@ -1,0 +1,116 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+)
+
+// TestTraceHeaderSent: a trace ID attached via client.WithTrace rides the
+// request header on every call; a bare context sends none.
+func TestTraceHeaderSent(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(api.HeaderTrace))
+		fmt.Fprint(w, `{"epoch":1}`)
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+
+	if _, err := c.Stats(client.WithTrace(context.Background(), "trace-cli-1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Load().(string); v != "trace-cli-1" {
+		t.Fatalf("server saw trace %q, want trace-cli-1", v)
+	}
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Load().(string); v != "" {
+		t.Fatalf("bare context sent trace %q, want none", v)
+	}
+}
+
+// TestErrorCarriesTrace: a structured error from a response whose header
+// carries a trace ID surfaces it in the message — once, even when the
+// envelope already passed through a tier that stamped it.
+func TestErrorCarriesTrace(t *testing.T) {
+	stamped := false
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.HeaderTrace, "trace-err-9")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		msg := "no such class"
+		if stamped { // a relayed envelope already carrying a trace suffix
+			msg += " [trace trace-err-9]"
+		}
+		fmt.Fprintf(w, `{"error":{"code":"bad_request","message":%q}}`, msg)
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+
+	_, err := c.Query(context.Background(), "c", "q", 1)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error = %v, want *api.Error", err)
+	}
+	if want := "no such class [trace trace-err-9]"; apiErr.Message != want {
+		t.Fatalf("message = %q, want %q", apiErr.Message, want)
+	}
+
+	stamped = true
+	_, err = c.Query(context.Background(), "c", "q", 1)
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error = %v, want *api.Error", err)
+	}
+	if n := strings.Count(apiErr.Message, "[trace "); n != 1 {
+		t.Fatalf("trace stamped %d times in %q, want exactly once", n, apiErr.Message)
+	}
+}
+
+// TestClientMetrics: Metrics fetches the raw exposition with the client's
+// retry policy — transient 5xx retried, 4xx immediate.
+func TestClientMetrics(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		if n.Add(1) < 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, "# HELP x y\n# TYPE x counter\nx 1\n")
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+	c.Retries = 2
+	c.RetryBackoff = time.Millisecond
+
+	expo, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo, "x 1") || n.Load() != 2 {
+		t.Fatalf("exposition %q after %d attempts", expo, n.Load())
+	}
+
+	bad := httptest.NewServer(http.NotFoundHandler())
+	defer bad.Close()
+	cb := client.New(bad.URL, bad.Client())
+	cb.Retries = 3
+	cb.RetryBackoff = time.Millisecond
+	if _, err := cb.Metrics(context.Background()); err == nil {
+		t.Fatal("metrics against a server without the endpoint succeeded")
+	}
+}

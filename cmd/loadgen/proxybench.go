@@ -116,6 +116,11 @@ func proxyTarget(ctx context.Context, b *backends, def Defaults, opts proxy.Opti
 		names:  b.names,
 		class:  def.Class,
 		desc:   fmt.Sprintf("edge proxy (cache=%d hedge=%v) over loopback primary + %d followers", opts.CacheEntries, opts.Hedge, len(b.followerURLs)),
+		// The client fires at the proxy alone, so the cross-check scrapes
+		// the proxy alone: hedges and backend failovers multiply requests
+		// BEHIND the edge, never between the client and it.
+		metricsURLs: []string{pts.URL},
+		hc:          b.hc,
 		close: func() {
 			pts.Close()
 			stopRun()

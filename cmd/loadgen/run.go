@@ -54,6 +54,11 @@ type RateRow struct {
 	AchievedQPS float64           `json:"achieved_qps"`
 	SLOMet      bool              `json:"slo_met"`
 	Latency     loadstats.Summary `json:"latency"`
+	// ServerRequests is the server-observed operation count for this
+	// window — the /metrics request-counter delta summed across the tier
+	// the client fires at. nil when the target exposes no /metrics; in an
+	// error-free smoke window it must equal Sent (checkSmoke enforces it).
+	ServerRequests *uint64 `json:"server_requests,omitempty"`
 }
 
 // opDraw is one scheduled operation with every random choice pre-drawn on
@@ -205,14 +210,31 @@ func runScenario(ctx context.Context, tgt *target, sc *Scenario, def Defaults, m
 		if def.Warmup > 0 {
 			openLoop(ctx, tgt, sc, rate, def.Warmup, def.Seed+int64(rate)*7919+1)
 		}
+		// Scrape AFTER the warmup so its requests stay out of the delta.
+		var before uint64
+		scrape := len(tgt.metricsURLs) > 0
+		if scrape {
+			var err error
+			if before, err = tgt.scrapeOpsServed(ctx); err != nil {
+				return res, fmt.Errorf("scenario %q rate %d: %w", sc.Name, rate, err)
+			}
+		}
 		row := openLoop(ctx, tgt, sc, rate, window, def.Seed+int64(rate)*7919)
 		if row.Sent == 0 {
 			return res, fmt.Errorf("scenario %q rate %d: nothing was sent (window too short for the rate)", sc.Name, rate)
 		}
+		if scrape {
+			served, err := settleScrape(ctx, tgt, before+uint64(row.Sent))
+			if err != nil {
+				return res, fmt.Errorf("scenario %q rate %d: %w", sc.Name, rate, err)
+			}
+			delta := served - before
+			row.ServerRequests = &delta
+		}
 		res.Rates = append(res.Rates, row)
-		fmt.Printf("load    %-12s rate=%-5d sent=%-6d errs=%-3d p50=%7.2fms p99=%7.2fms p99.9=%7.2fms max=%7.2fms%s\n",
+		fmt.Printf("load    %-12s rate=%-5d sent=%-6d errs=%-3d p50=%7.2fms p99=%7.2fms p99.9=%7.2fms max=%7.2fms%s%s\n",
 			sc.Name, rate, row.Sent, row.Errors, row.Latency.P50Ms, row.Latency.P99Ms,
-			row.Latency.P999Ms, row.Latency.MaxMs, sloMark(row))
+			row.Latency.P999Ms, row.Latency.MaxMs, serverMark(row), sloMark(row))
 		if row.SLOMet {
 			res.MaxSustainableQPS = rate
 		} else if mode == modeFull {
@@ -227,6 +249,27 @@ func sloMark(row RateRow) string {
 		return ""
 	}
 	return "  [SLO broken]"
+}
+
+func serverMark(row RateRow) string {
+	if row.ServerRequests == nil {
+		return ""
+	}
+	return fmt.Sprintf(" server=%d", *row.ServerRequests)
+}
+
+// settleScrape re-scrapes until the server-observed count reaches want —
+// the middleware increments its counter after the handler has already
+// written the response, so the last few requests of a window can be
+// client-complete but not yet counted — giving up after a short deadline
+// (requests genuinely lost to errors never arrive).
+func settleScrape(ctx context.Context, tgt *target, want uint64) (uint64, error) {
+	served, err := tgt.scrapeOpsServed(ctx)
+	for deadline := time.Now().Add(2 * time.Second); err == nil && served < want && time.Now().Before(deadline); {
+		time.Sleep(25 * time.Millisecond)
+		served, err = tgt.scrapeOpsServed(ctx)
+	}
+	return served, err
 }
 
 // checkSmoke validates a smoke run's internal consistency: every scenario
@@ -244,6 +287,9 @@ func checkSmoke(rep *Report) error {
 				return fmt.Errorf("smoke: scenario %q rate %d: no completions", sc.Name, row.RateQPS)
 			case int(l.Count) != row.Sent:
 				return fmt.Errorf("smoke: scenario %q rate %d: %d sent but %d measured", sc.Name, row.RateQPS, row.Sent, l.Count)
+			case row.ServerRequests != nil && *row.ServerRequests != uint64(row.Sent):
+				return fmt.Errorf("smoke: scenario %q rate %d: client sent %d but servers observed %d (/metrics cross-check)",
+					sc.Name, row.RateQPS, row.Sent, *row.ServerRequests)
 			case !(l.P50Ms <= l.P99Ms && l.P99Ms <= l.P999Ms && l.P999Ms <= l.MaxMs):
 				return fmt.Errorf("smoke: scenario %q rate %d: percentiles not monotone: %+v", sc.Name, row.RateQPS, l)
 			}

@@ -27,6 +27,13 @@ type target struct {
 	class  string
 	desc   string // for the report's "target" field
 	close  func()
+	// metricsURLs are the /metrics bases of the tier the router actually
+	// talks to (backends directly, or the edge proxy alone): summing
+	// semprox_http_requests_total over them before and after a measured
+	// leg cross-checks client-observed sends against server-observed
+	// serves. Empty disables the cross-check.
+	metricsURLs []string
+	hc          *http.Client // scrape client (nil: http.DefaultClient)
 }
 
 // loadClient builds the shared HTTP client for load generation: the
@@ -197,10 +204,12 @@ func selfHost(ctx context.Context, def Defaults) (*target, error) {
 		return nil, err
 	}
 	return &target{
-		router: router,
-		names:  b.names,
-		class:  def.Class,
-		desc:   fmt.Sprintf("self-hosted loopback stack: durable primary + %d followers, %d users", def.Followers, def.Users),
+		router:      router,
+		names:       b.names,
+		class:       def.Class,
+		desc:        fmt.Sprintf("self-hosted loopback stack: durable primary + %d followers, %d users", def.Followers, def.Users),
+		metricsURLs: append([]string{b.primaryURL}, b.followerURLs...),
+		hc:          b.hc,
 		close: func() {
 			stopRun()
 			b.close()
@@ -262,10 +271,12 @@ func external(ctx context.Context, primaryURL, followersCSV string, def Defaults
 		names[i] = fmt.Sprintf("user-%d", i)
 	}
 	return &target{
-		router: router,
-		names:  names,
-		class:  def.Class,
-		desc:   fmt.Sprintf("external stack: primary %s + %d followers", primaryURL, len(followerURLs)),
-		close:  stopRun,
+		router:      router,
+		names:       names,
+		class:       def.Class,
+		desc:        fmt.Sprintf("external stack: primary %s + %d followers", primaryURL, len(followerURLs)),
+		metricsURLs: append([]string{primaryURL}, followerURLs...),
+		hc:          hc,
+		close:       stopRun,
 	}, nil
 }

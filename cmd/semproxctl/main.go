@@ -23,9 +23,13 @@
 //	semproxctl -primary http://localhost:8080 -stats
 //	semproxctl -primary http://localhost:8080 -followers http://localhost:8081 -ready
 //
-// Exactly one action (-query, -x/-y proximity, -update, -stats, -ready)
-// per invocation; the response JSON goes to stdout, diagnostics to
-// stderr.
+//	# Fetch the primary's Prometheus exposition, filtered to one family
+//	# prefix (same retry/timeout policy as every other action).
+//	semproxctl -primary http://localhost:8080 -metrics -metrics-prefix semprox_wal
+//
+// Exactly one action (-query, -x/-y proximity, -update, -stats, -ready,
+// -metrics) per invocation; the response JSON (or exposition text) goes
+// to stdout, diagnostics to stderr.
 package main
 
 import (
@@ -59,18 +63,20 @@ func main() {
 		update    = flag.String("update", "", "update JSON {\"nodes\":[...],\"edges\":[...]} to apply through the primary")
 		stats     = flag.Bool("stats", false, "print the primary's /v1/stats")
 		ready     = flag.Bool("ready", false, "print readiness of the primary and every follower; non-zero exit if any is not ready")
+		metrics   = flag.Bool("metrics", false, "print the primary's /metrics Prometheus exposition")
+		metPrefix = flag.String("metrics-prefix", "", "with -metrics, keep only families whose name starts with this prefix (HELP/TYPE lines included)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "overall command timeout")
 		counts    = flag.Bool("counts", false, "print per-backend served counts after the reads, routing transitions (admit/eject/primary change) as they happen, and — with -stats against a semproxy edge tier — its hedge/cache counters, to stderr")
 	)
 	flag.Parse()
 	if err := run(*primary, *followers, *class, *query, *proxX, *proxY,
-		*update, *k, *n, *stats, *ready, *counts, *timeout); err != nil {
+		*update, *metPrefix, *k, *n, *stats, *ready, *metrics, *counts, *timeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(primary, followers, class, query, proxX, proxY, update string,
-	k, n int, stats, ready, counts bool, timeout time.Duration) error {
+func run(primary, followers, class, query, proxX, proxY, update, metPrefix string,
+	k, n int, stats, ready, metrics, counts bool, timeout time.Duration) error {
 	if primary == "" {
 		return fmt.Errorf("-primary is required")
 	}
@@ -87,13 +93,13 @@ func run(primary, followers, class, query, proxX, proxY, update string,
 		}
 	}
 	actions := 0
-	for _, on := range []bool{query != "", proxX != "" || proxY != "", update != "", stats, ready} {
+	for _, on := range []bool{query != "", proxX != "" || proxY != "", update != "", stats, ready, metrics} {
 		if on {
 			actions++
 		}
 	}
 	if actions != 1 {
-		return fmt.Errorf("pick exactly one of -query, -x/-y, -update, -stats, -ready (got %d)", actions)
+		return fmt.Errorf("pick exactly one of -query, -x/-y, -update, -stats, -ready, -metrics (got %d)", actions)
 	}
 	if n < 1 {
 		return fmt.Errorf("-n must be >= 1, got %d", n)
@@ -116,6 +122,13 @@ func run(primary, followers, class, query, proxX, proxY, update string,
 	switch {
 	case ready:
 		return printReady(ctx, router)
+	case metrics:
+		expo, err := router.Primary().Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(filterExposition(expo, metPrefix))
+		return nil
 	case stats:
 		st, err := router.Stats(ctx)
 		if err != nil {
@@ -240,6 +253,30 @@ func printReady(ctx context.Context, router *client.Router) error {
 		return fmt.Errorf("not all replicas ready")
 	}
 	return nil
+}
+
+// filterExposition keeps only families whose metric name starts with
+// prefix. Comment lines (# HELP, # TYPE) filter on the name they
+// annotate, samples on the series name, so the output stays a valid
+// exposition fragment.
+func filterExposition(expo, prefix string) string {
+	if prefix == "" {
+		return expo
+	}
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(expo, "\n"), "\n") {
+		name := line
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name = rest
+		} else if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name = rest
+		}
+		if strings.HasPrefix(name, prefix) {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
 }
 
 // emit prints v as indented JSON on stdout.

@@ -48,7 +48,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -86,6 +88,9 @@ func main() {
 		minSupport = flag.Int("min-support", 5, "MNI support threshold for mining (ignored with -snapshot)")
 		workers    = flag.Int("workers", 0, "matching/query workers (<1 = all CPUs; overrides a snapshot's setting)")
 		seed       = flag.Int64("seed", 1, "random seed (ignored with -snapshot)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables profiling endpoints")
+		requestLog = flag.Bool("request-log", true, "emit one structured log line per request (endpoint, status, latency, trace ID, epoch)")
+		slowQuery  = flag.Duration("slow-query", 500*time.Millisecond, "escalate a request's log line to WARN when it takes at least this long (0 never escalates)")
 	)
 	flag.Parse()
 
@@ -112,6 +117,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *requestLog {
+		handler.SetRequestLog(slog.New(slog.NewTextHandler(os.Stderr, nil)), *slowQuery)
+	}
+	startDebugServer(*debugAddr)
 
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
@@ -127,6 +136,27 @@ func main() {
 	// release the durability/replication resources.
 	handler.WaitCompactions()
 	shutdown()
+}
+
+// startDebugServer serves the pprof handlers on their own listener — an
+// explicit mux (never http.DefaultServeMux) on a separate address, so
+// profiling stays opt-in and off the public serving port.
+func startDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("debug server on %s: %v", addr, err)
+		}
+	}()
+	log.Printf("pprof on http://%s/debug/pprof/", addr)
 }
 
 // buildFollower boots a read replica — from its local state directory

@@ -31,7 +31,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +59,9 @@ func main() {
 		hedgeMax     = flag.Duration("hedge-budget-max", proxy.DefaultHedgeBudgetMax, "upper clamp on the per-backend p95 hedge budget")
 		probe        = flag.Duration("probe", client.DefaultProbeInterval, "backend readiness probe interval")
 		statsPoll    = flag.Duration("stats-poll", 500*time.Millisecond, "primary stats poll interval (epoch tracking for cache flushes; 0 disables)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (e.g. localhost:6061); empty disables profiling endpoints")
+		requestLog   = flag.Bool("request-log", true, "emit one structured log line per request (endpoint, status, latency, trace ID, epoch, cache/hedge outcome)")
+		slowQuery    = flag.Duration("slow-query", 500*time.Millisecond, "escalate a request's log line to WARN when it takes at least this long (0 never escalates)")
 	)
 	flag.Parse()
 
@@ -88,6 +93,10 @@ func main() {
 		HedgeBudget:    *hedgeBudget,
 		HedgeBudgetMax: *hedgeMax,
 	})
+	if *requestLog {
+		p.SetRequestLog(slog.New(slog.NewTextHandler(os.Stderr, nil)), *slowQuery)
+	}
+	startDebugServer(*debugAddr)
 
 	// The probe loop keeps the live set and the resolved primary fresh;
 	// the first sweep runs before serving so early requests have targets.
@@ -127,4 +136,25 @@ func main() {
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+}
+
+// startDebugServer serves the pprof handlers on their own listener — an
+// explicit mux (never http.DefaultServeMux) on a separate address, so
+// profiling stays opt-in and off the public serving port.
+func startDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("debug server on %s: %v", addr, err)
+		}
+	}()
+	log.Printf("pprof on http://%s/debug/pprof/", addr)
 }

@@ -1,0 +1,223 @@
+// Prometheus text-format exposition (version 0.0.4), implemented
+// directly rather than through a client library: the format is a dozen
+// lines of escaping rules, and keeping the repo std-lib-only means the
+// serving tiers never pick up a dependency just to be scraped.
+// Histogram families render as summaries (quantile-labeled series plus
+// _sum and _count) because the log-linear loadstats layout has ~3800
+// buckets — faithful but useless as native histogram buckets.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one exposition line: name{labels} value.
+type sample struct {
+	suffix string // appended to the family name ("_sum", "_count", "")
+	labels string // rendered label pairs, without braces
+	value  float64
+	isUint bool // render as an integer (counters, counts)
+	uval   uint64
+}
+
+// famSnap is a point-in-time copy of one family, ready to render.
+type famSnap struct {
+	name, help string
+	kind       kind
+	samples    []sample
+}
+
+// snapshot copies every family under the registry locks. Callback gauges
+// are evaluated here, outside any caller-visible critical section.
+func (r *Registry) snapshot() []famSnap {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]famSnap, 0, len(fams))
+	for _, f := range fams {
+		fs := famSnap{name: f.name, help: f.help, kind: f.kind}
+		f.mu.Lock()
+		switch f.kind {
+		case kindCounter:
+			for key, c := range f.counters {
+				fs.samples = append(fs.samples, sample{labels: key, isUint: true, uval: c.Value()})
+			}
+		case kindGauge:
+			for key, g := range f.gauges {
+				fs.samples = append(fs.samples, sample{labels: key, value: float64(g.Value())})
+			}
+			for key, fn := range f.gaugeFns {
+				fs.samples = append(fs.samples, sample{labels: key, value: fn()})
+			}
+		case kindHistogram:
+			for key, h := range f.hists {
+				count, sum, qs := h.quantiles()
+				for i, q := range expQuantiles {
+					fs.samples = append(fs.samples, sample{
+						labels: joinLabels(key, `quantile="`+strconv.FormatFloat(q, 'g', -1, 64)+`"`),
+						value:  qs[i],
+					})
+				}
+				fs.samples = append(fs.samples, sample{suffix: "_sum", labels: key, value: sum})
+				fs.samples = append(fs.samples, sample{suffix: "_count", labels: key, isUint: true, uval: count})
+			}
+		}
+		f.mu.Unlock()
+		sort.Slice(fs.samples, func(i, j int) bool {
+			if fs.samples[i].suffix != fs.samples[j].suffix {
+				return fs.samples[i].suffix < fs.samples[j].suffix
+			}
+			return fs.samples[i].labels < fs.samples[j].labels
+		})
+		out = append(out, fs)
+	}
+	return out
+}
+
+// joinLabels concatenates two rendered label fragments.
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// WriteText renders the union of the given registries in Prometheus text
+// format. Families sharing a name across registries merge into one
+// HELP/TYPE block (first registry's help wins); a kind mismatch across
+// registries drops the later family rather than emitting an unparseable
+// duplicate TYPE line.
+func WriteText(w io.Writer, regs ...*Registry) error {
+	type merged struct {
+		snap famSnap
+		seen map[string]bool // suffix+labels already emitted
+	}
+	byName := make(map[string]*merged)
+	var names []string
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, fs := range r.snapshot() {
+			m, ok := byName[fs.name]
+			if !ok {
+				m = &merged{snap: fs, seen: make(map[string]bool, len(fs.samples))}
+				m.snap.samples = nil
+				byName[fs.name] = m
+				names = append(names, fs.name)
+			} else if m.snap.kind != fs.kind {
+				continue
+			}
+			// Duplicate series (same labels in two registries) keep the
+			// earliest registry's sample — one line per series, always
+			// parseable.
+			for _, s := range fs.samples {
+				key := s.suffix + "|" + s.labels
+				if m.seen[key] {
+					continue
+				}
+				m.seen[key] = true
+				m.snap.samples = append(m.snap.samples, s)
+			}
+		}
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		fs := byName[name].snap
+		typ := "counter"
+		switch fs.kind {
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "summary"
+		}
+		if fs.help != "" {
+			bw.WriteString("# HELP " + fs.name + " " + escapeHelp(fs.help) + "\n")
+		}
+		bw.WriteString("# TYPE " + fs.name + " " + typ + "\n")
+		for _, s := range fs.samples {
+			bw.WriteString(fs.name + s.suffix)
+			if s.labels != "" {
+				bw.WriteString("{" + s.labels + "}")
+			}
+			if s.isUint {
+				bw.WriteString(" " + strconv.FormatUint(s.uval, 10) + "\n")
+			} else {
+				bw.WriteString(" " + strconv.FormatFloat(s.value, 'g', -1, 64) + "\n")
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the union of the given registries at /metrics. GET and
+// HEAD only; the content type is the Prometheus text format version the
+// ecosystem's parsers expect.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r.Method == http.MethodHead {
+			return
+		}
+		_ = WriteText(w, regs...)
+	})
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are
+// legal there).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

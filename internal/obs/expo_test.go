@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a strict line parser for the subset of the
+// Prometheus text format this package emits: every non-comment line must
+// be `name{labels} value` or `name value`, every series must be preceded
+// by a TYPE line for its family, and values must parse as floats. It
+// returns series keyed by `name{labels}`.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	series := make(map[string]float64)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "summary":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, parts[1])
+			}
+			typed[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator: %q", ln+1, line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, val, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label block: %q", ln+1, line)
+			}
+			name = key[:i]
+		}
+		fam := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[fam]; !ok {
+				t.Fatalf("line %d: series %q has no TYPE line", ln+1, name)
+			}
+		}
+		if _, dup := series[key]; dup {
+			t.Fatalf("line %d: duplicate series %q", ln+1, key)
+		}
+		series[key] = v
+	}
+	return series
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.", L("path", "/v1/query"), L("code", "2xx")).Add(3)
+	r.Gauge("app_epoch", "Current epoch.").Set(42)
+	h := r.Histogram("app_latency_seconds", "Latency.", Seconds)
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * 1_000_000) // 1..100ms
+	}
+	out := gatherText(t, r)
+
+	for _, want := range []string{
+		"# HELP app_requests_total Requests served.\n",
+		"# TYPE app_requests_total counter\n",
+		`app_requests_total{code="2xx",path="/v1/query"} 3` + "\n",
+		"# TYPE app_epoch gauge\n",
+		"app_epoch 42\n",
+		"# TYPE app_latency_seconds summary\n",
+		`app_latency_seconds{quantile="0.5"}`,
+		`app_latency_seconds{quantile="0.999"}`,
+		"app_latency_seconds_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	series := parseExposition(t, out)
+	if got := series[`app_latency_seconds{quantile="0.99"}`]; got < 0.09 || got > 0.11 {
+		t.Fatalf("p99 = %v s, want ~0.099", got)
+	}
+	sum := series["app_latency_seconds_sum"]
+	if sum < 5.04 || sum > 5.06 { // 1+..+100 ms = 5.05 s
+		t.Fatalf("sum = %v s, want ~5.05", sum)
+	}
+}
+
+func TestExpositionSortedAndDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("z_total", "h").Inc()
+		r.Counter("a_total", "h", L("x", "2")).Inc()
+		r.Counter("a_total", "h", L("x", "1")).Inc()
+		r.Gauge("m_gauge", "h").Set(1)
+		return r
+	}
+	a, b := gatherText(t, build()), gatherText(t, build())
+	if a != b {
+		t.Fatalf("same registry contents rendered differently:\n%s\nvs\n%s", a, b)
+	}
+	if strings.Index(a, "a_total") > strings.Index(a, "m_gauge") ||
+		strings.Index(a, "m_gauge") > strings.Index(a, "z_total") {
+		t.Fatalf("families not name-sorted:\n%s", a)
+	}
+	if strings.Index(a, `x="1"`) > strings.Index(a, `x="2"`) {
+		t.Fatalf("children not label-sorted:\n%s", a)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", L("v", "a\"b\\c\nd")).Inc()
+	out := gatherText(t, r)
+	want := `esc_total{v="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("label escaping wrong, want %q in:\n%s", want, out)
+	}
+	parseExposition(t, out)
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "multi\nline \\ help").Inc()
+	out := gatherText(t, r)
+	if !strings.Contains(out, `# HELP esc_total multi\nline \\ help`+"\n") {
+		t.Fatalf("help escaping wrong:\n%s", out)
+	}
+}
+
+func TestMergedRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("shared_total", "h", L("src", "a")).Add(1)
+	b.Counter("shared_total", "h", L("src", "b")).Add(2)
+	a.Gauge("only_a", "h").Set(5)
+	// Kind conflict across registries: the later family is dropped, the
+	// output stays parseable.
+	b.Gauge("only_a", "h").Set(7)
+	out := gatherText(t, a, b)
+	series := parseExposition(t, out)
+	if series[`shared_total{src="a"}`] != 1 || series[`shared_total{src="b"}`] != 2 {
+		t.Fatalf("merged family lost samples:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE shared_total") != 1 {
+		t.Fatalf("merged family emitted duplicate TYPE lines:\n%s", out)
+	}
+	if series["only_a"] != 5 {
+		t.Fatalf("first registry should win on only_a:\n%s", out)
+	}
+	ca, cb := NewRegistry(), NewRegistry()
+	ca.Counter("x_total", "h").Inc()
+	cb.Gauge("x_total", "h").Set(9)
+	conflicted := gatherText(t, ca, cb)
+	parseExposition(t, conflicted)
+	if strings.Contains(conflicted, "x_total 9") {
+		t.Fatalf("kind-conflicting later family leaked into output:\n%s", conflicted)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").Inc()
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Fatalf("body missing series:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("HEAD", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("HEAD = %d with %d body bytes", rec.Code, rec.Body.Len())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	name := fmt.Sprintf("default_probe_total_%d", len(gatherText(t, Default())))
+	Default().Counter(name, "h").Inc()
+	if !strings.Contains(gatherText(t, Default()), name) {
+		t.Fatal("Default() did not persist a registration")
+	}
+}

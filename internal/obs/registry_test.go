@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/loadstats"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "h", L("op", "read"))
+	b := r.Counter("test_total", "h", L("op", "read"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("test_total", "h", L("op", "write"))
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	a.Inc()
+	a.Add(4)
+	if got := b.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	if c.Value() != 0 {
+		t.Fatalf("sibling counter moved: %d", c.Value())
+	}
+}
+
+func TestLabelOrderIrrelevant(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("t_total", "h", L("a", "1"), L("b", "2"))
+	b := r.Counter("t_total", "h", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order changed child identity")
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "h")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestGaugeFuncReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterGaugeFunc("test_fn", "h", func() float64 { return 1 })
+	r.RegisterGaugeFunc("test_fn", "h", func() float64 { return 2 })
+	out := gatherText(t, r)
+	if !strings.Contains(out, "test_fn 2\n") {
+		t.Fatalf("re-registered gauge func did not replace:\n%s", out)
+	}
+	if strings.Contains(out, "test_fn 1\n") {
+		t.Fatalf("stale gauge func still rendered:\n%s", out)
+	}
+}
+
+func TestGaugeFuncReplacesSetGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("test_g", "h").Set(9)
+	r.RegisterGaugeFunc("test_g", "h", func() float64 { return 3 })
+	out := gatherText(t, r)
+	if !strings.Contains(out, "test_g 3\n") || strings.Contains(out, "test_g 9\n") {
+		t.Fatalf("gauge func did not displace the set gauge:\n%s", out)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_total", "h")
+}
+
+func TestHistogramUnitMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("test_seconds", "h", Seconds)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a histogram with a new unit did not panic")
+		}
+	}()
+	r.Histogram("test_seconds", "h", Units)
+}
+
+func TestEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty metric name did not panic")
+		}
+	}()
+	NewRegistry().Counter("", "h")
+}
+
+// TestHistogramMatchesLoadstats is the quantile property test: a
+// registry histogram fed the same samples as a bare loadstats.Hist must
+// report the identical Summary slate — obs adds locking and exposition,
+// never different math.
+func TestHistogramMatchesLoadstats(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRegistry()
+		h := r.Histogram("test_seconds", "h", Seconds)
+		direct := loadstats.New()
+		n := 1000 + rng.Intn(9000)
+		for i := 0; i < n; i++ {
+			// Span the exact region, the log-linear octaves, and a heavy tail.
+			v := int64(rng.Intn(50)) + rng.Int63n(1_000_000)<<uint(rng.Intn(12))
+			h.Observe(v)
+			direct.Record(v)
+		}
+		got, want := h.Summary(), direct.Summarize()
+		if got != want {
+			t.Fatalf("seed %d: registry summary %+v != direct loadstats summary %+v", seed, got, want)
+		}
+	}
+}
+
+func TestHistogramDurationHelpers(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "h", Seconds)
+	h.ObserveDuration(2 * time.Millisecond)
+	h.Since(time.Now().Add(-3 * time.Millisecond))
+	s := h.Summary()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.MaxMs < 2.9 {
+		t.Fatalf("Since recorded %.2fms, want ~3ms", s.MaxMs)
+	}
+}
+
+// TestRaceHammer hits one registry from many goroutines with concurrent
+// Inc/Set/Observe/gather; run under -race (make test) it proves the
+// handles and the exposition snapshot are data-race free.
+func TestRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterGaugeFunc("hammer_fn", "h", func() float64 { return 1 })
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("hammer_total", "h", L("w", fmt.Sprint(id%2)))
+			g := r.Gauge("hammer_gauge", "h")
+			h := r.Histogram("hammer_seconds", "h", Seconds)
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(j))
+				h.Observe(int64(j % 1000))
+				// Re-lookup interleaves registration with traffic.
+				r.Counter("hammer_total", "h", L("w", fmt.Sprint(id%2))).Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := WriteText(&sb, r); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	out := gatherText(t, r)
+	for _, want := range []string{"hammer_total", "hammer_gauge", "hammer_seconds_count", "hammer_fn"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("final gather missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("trace IDs %q / %q: want distinct 16-char hex", a, b)
+	}
+}
+
+func gatherText(t *testing.T, regs ...*Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := WriteText(&sb, regs...); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return sb.String()
+}

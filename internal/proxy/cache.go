@@ -3,6 +3,8 @@ package proxy
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // cache is the epoch-keyed bounded LRU over read responses. Conceptually
@@ -28,14 +30,18 @@ type cache struct {
 	mu  sync.Mutex
 	cap int // <= 0 disables storage; lookups miss, fills drop
 
-	epoch   uint64 // current tracker epoch; every resident entry matches it
-	byKey   map[string]*list.Element
-	lru     *list.List // front = most recently used
-	bytes   int        // resident body bytes, for stats
-	hits    uint64
-	misses  uint64
-	evicts  uint64
-	flushes uint64 // epoch advances that flushed the map
+	epoch uint64 // current tracker epoch; every resident entry matches it
+	byKey map[string]*list.Element
+	lru   *list.List // front = most recently used
+	bytes int        // resident body bytes, for stats
+
+	// Counters live on the proxy's metric registry; the cacheCounters
+	// snapshot (and through it api.ProxyStats) reads the same handles
+	// /metrics renders, so the two views cannot drift.
+	hits    *obs.Counter
+	misses  *obs.Counter
+	evicts  *obs.Counter
+	flushes *obs.Counter // epoch advances that flushed the map
 }
 
 // centry is one resident response body.
@@ -45,12 +51,29 @@ type centry struct {
 	body  []byte
 }
 
-func newCache(capEntries int) *cache {
-	return &cache{
+func newCache(capEntries int, reg *obs.Registry) *cache {
+	c := &cache{
 		cap:   capEntries,
 		byKey: make(map[string]*list.Element),
 		lru:   list.New(),
+		hits:  reg.Counter(metricCacheLookups, helpCacheLookups, obs.L("result", "hit")),
+		misses: reg.Counter(metricCacheLookups, helpCacheLookups,
+			obs.L("result", "miss")),
+		evicts: reg.Counter("semprox_proxy_cache_evictions_total",
+			"Entries evicted by the LRU capacity bound (epoch flushes excluded)."),
+		flushes: reg.Counter("semprox_proxy_cache_epoch_flushes_total",
+			"Epoch advances observed by the cache tracker (each flushes every resident entry)."),
 	}
+	reg.RegisterGaugeFunc("semprox_proxy_cache_entries",
+		"Resident response cache entries.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.lru.Len()) })
+	reg.RegisterGaugeFunc("semprox_proxy_cache_bytes",
+		"Resident response cache body bytes.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.bytes) })
+	reg.RegisterGaugeFunc("semprox_proxy_cache_epoch",
+		"Current cache tracker epoch (resident entries all match it).",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.epoch) })
+	return c
 }
 
 // get returns the cached body for key at the CURRENT epoch, plus the
@@ -60,10 +83,10 @@ func (c *cache) get(key string) (body []byte, epoch uint64, ok bool) {
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, 0, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.lru.MoveToFront(el)
 	en := el.Value.(*centry)
 	return en.body, en.epoch, true
@@ -98,7 +121,7 @@ func (c *cache) put(key string, epoch uint64, body []byte) {
 		c.lru.Remove(back)
 		delete(c.byKey, en.key)
 		c.bytes -= len(en.body)
-		c.evicts++
+		c.evicts.Inc()
 	}
 }
 
@@ -121,7 +144,7 @@ func (c *cache) advanceLocked(epoch uint64) {
 		c.lru.Init()
 		c.bytes = 0
 	}
-	c.flushes++
+	c.flushes.Inc()
 }
 
 // cacheCounters is a point-in-time snapshot for the stats extension.
@@ -142,9 +165,9 @@ func (c *cache) counters() cacheCounters {
 		epoch:   c.epoch,
 		entries: c.lru.Len(),
 		bytes:   c.bytes,
-		hits:    c.hits,
-		misses:  c.misses,
-		evicts:  c.evicts,
-		flushes: c.flushes,
+		hits:    c.hits.Value(),
+		misses:  c.misses.Value(),
+		evicts:  c.evicts.Value(),
+		flushes: c.flushes.Value(),
 	}
 }

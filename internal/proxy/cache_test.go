@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestCacheEpochFlush(t *testing.T) {
-	c := newCache(16)
+	c := newCache(16, obs.NewRegistry())
 	c.put("k", 1, []byte("v1"))
 	if body, epoch, ok := c.get("k"); !ok || string(body) != "v1" || epoch != 1 {
 		t.Fatalf("get = %q, %d, %v", body, epoch, ok)
@@ -26,7 +28,7 @@ func TestCacheEpochFlush(t *testing.T) {
 }
 
 func TestCacheStaleFillDropped(t *testing.T) {
-	c := newCache(16)
+	c := newCache(16, obs.NewRegistry())
 	c.advance(5)
 	// A lagging replica answers with epoch-3 bytes after the proxy already
 	// saw epoch 5: caching it would serve stale data under current-epoch
@@ -43,7 +45,7 @@ func TestCacheStaleFillDropped(t *testing.T) {
 }
 
 func TestCacheLRUBound(t *testing.T) {
-	c := newCache(4)
+	c := newCache(4, obs.NewRegistry())
 	for i := 0; i < 6; i++ {
 		c.put(fmt.Sprintf("k%d", i), 1, []byte{byte(i)})
 	}
@@ -59,7 +61,7 @@ func TestCacheLRUBound(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	c := newCache(0)
+	c := newCache(0, obs.NewRegistry())
 	c.put("k", 1, []byte("v"))
 	if _, _, ok := c.get("k"); ok {
 		t.Fatal("disabled cache stored an entry")

@@ -39,15 +39,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/api"
 	"repro/client"
+	"repro/internal/obs"
 )
 
 // HeaderCache marks proxy read responses as served from the cache
@@ -103,13 +104,24 @@ type Proxy struct {
 	mux    *http.ServeMux
 	cache  *cache
 
-	emu   sync.Mutex
-	ests  map[string]*estimator // per-backend latency, keyed by base URL
-	reads atomic.Uint64         // reads forwarded to backends (cache hits excluded)
+	// reg is this proxy's own metric registry — the single source of
+	// truth for the edge counters: api.ProxyStats (the /v1/stats
+	// extension) is DERIVED from these handles, and /metrics renders the
+	// union of this registry and the process default, so both views can
+	// never drift. Per-instance (not Default) because the hedge cap math
+	// is per-proxy and test stacks run several proxies in one process.
+	reg *obs.Registry
+	// wrap is mux behind the obs middleware (tracing, metrics, request
+	// log). Rebuilt by SetRequestLog — call that before serving.
+	wrap http.Handler
 
-	hedgesIssued    atomic.Uint64
-	hedgesWon       atomic.Uint64
-	hedgesCancelled atomic.Uint64
+	emu  sync.Mutex
+	ests map[string]*estimator // per-backend latency, keyed by base URL
+
+	reads           *obs.Counter // reads forwarded to backends (cache hits excluded)
+	hedgesIssued    *obs.Counter
+	hedgesWon       *obs.Counter
+	hedgesCancelled *obs.Counter
 }
 
 // New builds the proxy over a router. The router's probe loop (Run) is
@@ -140,14 +152,22 @@ func New(r *client.Router, opts Options) *Proxy {
 			},
 		}
 	}
+	reg := obs.NewRegistry()
 	p := &Proxy{
 		router: r,
 		opts:   opts,
 		hc:     hc,
 		raw:    &http.Client{Transport: hc.Transport},
 		mux:    http.NewServeMux(),
-		cache:  newCache(opts.CacheEntries),
+		cache:  newCache(opts.CacheEntries, reg),
+		reg:    reg,
 		ests:   make(map[string]*estimator),
+
+		reads: reg.Counter("semprox_proxy_reads_total",
+			"Reads forwarded to backends (cache hits excluded)."),
+		hedgesIssued:    reg.Counter(metricHedges, helpHedges, obs.L("outcome", "issued")),
+		hedgesWon:       reg.Counter(metricHedges, helpHedges, obs.L("outcome", "won")),
+		hedgesCancelled: reg.Counter(metricHedges, helpHedges, obs.L("outcome", "cancelled")),
 	}
 	for path, h := range map[string]http.HandlerFunc{
 		api.PathHealthz:           p.handlePlainRead,
@@ -163,24 +183,94 @@ func New(r *client.Router, opts Options) *Proxy {
 		p.mux.HandleFunc(path, h)
 		p.mux.HandleFunc(api.LegacyPath(path), h)
 	}
+	p.mux.Handle(metricsPath, obs.Handler(p.reg, obs.Default()))
+	// Routing transitions count on the proxy registry; an OnEvent the
+	// caller already installed keeps firing after ours.
+	prev := r.OnEvent
+	r.OnEvent = func(ev client.Event) {
+		reg.Counter("semprox_router_events_total",
+			"Routing transitions observed (admit, eject, primary_change).",
+			obs.L("type", ev.Type)).Inc()
+		if prev != nil {
+			prev(ev)
+		}
+	}
+	reg.RegisterGaugeFunc("semprox_router_live_followers",
+		"Followers currently in the read rotation.",
+		func() float64 { return float64(len(r.Live())) })
+	p.buildWrap(nil, 0)
 	return p
 }
 
+// Hedge and cache family names, shared between New and the cache.
+const (
+	metricHedges = "semprox_proxy_hedges_total"
+	helpHedges   = "Hedged read outcomes: issued (duplicate launched), won (hedge answered first), cancelled (original answered first)."
+
+	metricCacheLookups = "semprox_proxy_cache_lookups_total"
+	helpCacheLookups   = "Response cache lookups at the current epoch, by result."
+)
+
+// metricsPath serves the Prometheus exposition. Unversioned on purpose:
+// it is operational surface, not part of the /v1 wire contract.
+const metricsPath = "/metrics"
+
+// buildWrap (re)wraps the mux with the obs middleware.
+func (p *Proxy) buildWrap(logger *slog.Logger, slow time.Duration) {
+	p.wrap = obs.WrapHTTP(p.mux, obs.HTTPOptions{
+		Registry:      p.reg,
+		TraceHeader:   api.HeaderTrace,
+		Component:     "proxy",
+		Logger:        logger,
+		SlowThreshold: slow,
+		PathLabel:     pathLabel,
+		EpochHeader:   api.HeaderEpoch,
+		CacheHeader:   HeaderCache,
+	})
+}
+
+// SetRequestLog enables one structured log line per request on logger —
+// endpoint, status, latency, trace ID, epoch, cache disposition, backend
+// and hedge outcome — escalated to Warn when a request takes at least
+// slow (0 never escalates). Call before serving.
+func (p *Proxy) SetRequestLog(logger *slog.Logger, slow time.Duration) {
+	p.buildWrap(logger, slow)
+}
+
+// knownPaths bounds metric label cardinality: canonical /v1 paths and
+// /metrics keep their names, everything else (typos, scans) collapses.
+var knownPaths = func() map[string]bool {
+	m := map[string]bool{metricsPath: true}
+	for _, p := range api.Paths() {
+		m[p] = true
+	}
+	return m
+}()
+
+func pathLabel(p string) string {
+	if c := api.CanonicalPath(p); knownPaths[c] {
+		return c
+	}
+	return "other"
+}
+
 // ServeHTTP implements http.Handler.
-func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeHTTP(w, r) }
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.wrap.ServeHTTP(w, r) }
 
 // AdvanceEpoch feeds the cache an externally observed serving epoch
 // (cmd/semproxy's stats poll); newer epochs flush the cache.
 func (p *Proxy) AdvanceEpoch(epoch uint64) { p.cache.advance(epoch) }
 
-// Counters snapshots the proxy's observability block.
+// Counters snapshots the proxy's observability block — read straight off
+// the metric registry, so the ProxyStats extension on /v1/stats and the
+// /metrics exposition are two renderings of the same handles.
 func (p *Proxy) Counters() api.ProxyStats {
 	cc := p.cache.counters()
 	return api.ProxyStats{
-		Reads:           p.reads.Load(),
-		HedgesIssued:    p.hedgesIssued.Load(),
-		HedgesWon:       p.hedgesWon.Load(),
-		HedgesCancelled: p.hedgesCancelled.Load(),
+		Reads:           p.reads.Value(),
+		HedgesIssued:    p.hedgesIssued.Value(),
+		HedgesWon:       p.hedgesWon.Value(),
+		HedgesCancelled: p.hedgesCancelled.Value(),
 		CacheHits:       cc.hits,
 		CacheMisses:     cc.misses,
 		CacheEvictions:  cc.evicts,
@@ -223,7 +313,7 @@ func (p *Proxy) budgetFor(c *client.Client) time.Duration {
 // hedgeAllowed enforces the cap: a hedge may launch only while the
 // issued count stays under HedgeCapPct% of forwarded reads.
 func (p *Proxy) hedgeAllowed() bool {
-	return (p.hedgesIssued.Load()+1)*100 <= uint64(p.opts.HedgeCapPct)*p.reads.Load()
+	return (p.hedgesIssued.Value()+1)*100 <= uint64(p.opts.HedgeCapPct)*p.reads.Value()
 }
 
 // result is one backend attempt's outcome.
@@ -252,6 +342,9 @@ func (p *Proxy) attempt(ctx context.Context, c *client.Client, method, path, raw
 	if method == http.MethodPost {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if trace := obs.TraceID(ctx); trace != "" {
+		req.Header.Set(api.HeaderTrace, trace)
+	}
 	start := time.Now()
 	resp, err := p.hc.Do(req)
 	if err != nil {
@@ -275,7 +368,7 @@ func (p *Proxy) attempt(ctx context.Context, c *client.Client, method, path, raw
 // error says nothing about the backend) and moves on to the next
 // candidate when no other attempt is still in flight.
 func (p *Proxy) forwardRead(ctx context.Context, method, path, rawQuery string, body []byte) (result, *api.Error) {
-	p.reads.Add(1)
+	p.reads.Inc()
 	targets := p.router.ReadTargets(maxReadTargets)
 	if len(targets) == 0 {
 		return result{}, api.Errorf(http.StatusBadGateway, api.CodeInternal, "proxy: no backend available")
@@ -311,10 +404,12 @@ func (p *Proxy) forwardRead(ctx context.Context, method, path, rawQuery string, 
 				p.estimatorFor(res.c).observe(res.latency)
 				p.router.ReportRead(res.c, nil)
 				if res.hedged {
-					p.hedgesWon.Add(1)
+					p.hedgesWon.Inc()
 				} else if hedgeLaunched {
-					p.hedgesCancelled.Add(1)
+					p.hedgesCancelled.Inc()
 				}
+				obs.AddAttrs(ctx, slog.String("backend", res.c.BaseURL()),
+					slog.Bool("hedged", res.hedged))
 				return res, nil
 			}
 			if ctx.Err() != nil {
@@ -341,7 +436,7 @@ func (p *Proxy) forwardRead(ctx context.Context, method, path, rawQuery string, 
 			timerC = nil
 			if next < len(targets) {
 				hedgeLaunched = true
-				p.hedgesIssued.Add(1)
+				p.hedgesIssued.Inc()
 				launch(true)
 				inflight++
 			}

@@ -32,6 +32,7 @@ type fake struct {
 	queries   atomic.Int64
 	updates   atomic.Int64
 	cancelled atomic.Int64
+	lastTrace atomic.Value // last X-Semprox-Trace seen on a query
 }
 
 func newFake(t *testing.T, role string, delay time.Duration) *fake {
@@ -44,6 +45,7 @@ func newFake(t *testing.T, role string, delay time.Duration) *fake {
 	})
 	mux.HandleFunc(api.PathQuery, func(w http.ResponseWriter, r *http.Request) {
 		f.queries.Add(1)
+		f.lastTrace.Store(r.Header.Get(api.HeaderTrace))
 		if d := time.Duration(f.delay.Load()); d > 0 {
 			select {
 			case <-time.After(d):
@@ -169,10 +171,15 @@ func TestNoHedgeUnderBudget(t *testing.T) {
 	p, ts := fakeStack(t, Options{
 		Hedge:       true,
 		HedgeCapPct: 100,
-		// Far beyond any loopback latency even on a loaded -race runner;
+		// Far beyond any loopback latency even on a loaded -race runner.
 		// HedgeBudgetMax must rise with it or the default 100ms clamp
-		// would silently lower the budget back down.
+		// would silently lower the budget back down — and HedgeBudgetMin
+		// must too, or the per-backend p95 estimate (sub-millisecond over
+		// loopback, clamped UP to the 1ms default min) replaces the
+		// configured budget after the first read and one slow scheduling
+		// hiccup fires a hedge.
 		HedgeBudget:    5 * time.Second,
+		HedgeBudgetMin: 5 * time.Second,
 		HedgeBudgetMax: 5 * time.Second,
 	}, primary, a, b)
 	for i := 0; i < 20; i++ {

@@ -105,6 +105,7 @@ func NewFollower(baseURL string, hc *http.Client) *Follower {
 		Backoff:  500 * time.Millisecond,
 	}
 	f.setClient(baseURL)
+	f.registerGauges()
 	return f
 }
 
@@ -189,6 +190,7 @@ func (f *Follower) Restore() (bool, error) {
 // wipe: it is seeded into the fresh log so a later Promote still
 // outranks the deposed primary.
 func (f *Follower) Bootstrap(ctx context.Context) error {
+	repBootstraps.Inc()
 	body, err := f.client().ReplicateSnapshot(ctx)
 	if err != nil {
 		return fmt.Errorf("replica: bootstrap: %w", err)
@@ -293,6 +295,7 @@ func (f *Follower) Promote() (*wal.WAL, error) {
 	}
 	f.seenTerm.Store(next + 1)
 	f.promoted = true
+	repPromotions.Inc()
 	return f.log, nil
 }
 
@@ -382,6 +385,7 @@ func (e *applyError) Unwrap() error { return e.err }
 // them in a single epoch swap (see Engine.ApplyUpdateBatchAt),
 // returning how many records were applied.
 func (f *Follower) pollOnce(ctx context.Context) (int, error) {
+	repPolls.Inc()
 	after := f.applied.Load()
 	afterTerm := uint64(0)
 	if after > 0 {
@@ -495,6 +499,7 @@ func (f *Follower) pollOnce(ctx context.Context) (int, error) {
 		}
 		f.applied.Store(last)
 		f.appTerm.Store(lastTerm)
+		repApplied.Add(uint64(count))
 		applied = count
 	}
 	if diverged != nil {

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// TestMetricsEndpoint: /metrics renders the server registry (per-endpoint
+// request counters, engine position gauges) merged with the process
+// default (engine apply histogram), in parseable Prometheus text.
+func TestMetricsEndpoint(t *testing.T) {
+	s, _, _ := trainedServer(t)
+	// Drive one query so per-endpoint series exist.
+	if rec := do(t, s, http.MethodGet, api.PathQuery+"?class=classmate&query=Kate", ""); rec.Code != http.StatusOK {
+		t.Fatalf("query status = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := do(t, s, http.MethodGet, "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	expo := rec.Body.String()
+	for _, series := range []string{
+		`semprox_http_requests_total{code="2xx",path="/v1/query"}`,
+		"semprox_engine_epoch",
+		"semprox_engine_lsn",
+		"semprox_engine_apply_seconds", // default-registry family, merged in
+	} {
+		if !strings.Contains(expo, series) {
+			t.Errorf("exposition lacks %s", series)
+		}
+	}
+	// Writes are rejected: the exposition is a read-only surface.
+	if rec := do(t, s, http.MethodPost, "/metrics", "{}"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+// TestTraceEchoedOnError: the response trace header is set before the
+// handler runs, so error envelopes carry it — accepted from the caller
+// when present, minted when absent.
+func TestTraceEchoedOnError(t *testing.T) {
+	s, _, _ := trainedServer(t)
+	r := httptest.NewRequest(http.MethodGet, api.PathQuery, nil) // missing params: 400
+	r.Header.Set(api.HeaderTrace, "trace-err-1")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", w.Code)
+	}
+	if got := w.Header().Get(api.HeaderTrace); got != "trace-err-1" {
+		t.Fatalf("error response trace = %q, want the caller's", got)
+	}
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, api.PathQuery, nil))
+	if w.Header().Get(api.HeaderTrace) == "" {
+		t.Fatal("server minted no trace for a bare request")
+	}
+}
+
+// TestRequestLogLine: SetRequestLog emits one structured line per request
+// with the trace ID and canonical fields, escalating to Warn past the
+// slow threshold.
+func TestRequestLogLine(t *testing.T) {
+	s, _, _ := trainedServer(t)
+	var buf bytes.Buffer
+	s.SetRequestLog(slog.New(slog.NewTextHandler(&buf, nil)), 0)
+	r := httptest.NewRequest(http.MethodGet, api.PathHealthz, nil)
+	r.Header.Set(api.HeaderTrace, "trace-log-1")
+	s.ServeHTTP(httptest.NewRecorder(), r)
+	line := buf.String()
+	for _, want := range []string{
+		"component=server", "path=/v1/healthz", "status=200", "trace=trace-log-1",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line lacks %q: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "slow=true") {
+		t.Errorf("zero threshold escalated: %s", line)
+	}
+
+	buf.Reset()
+	s.SetRequestLog(slog.New(slog.NewTextHandler(&buf, nil)), time.Nanosecond)
+	s.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, api.PathHealthz, nil))
+	if line := buf.String(); !strings.Contains(line, "slow=true") || !strings.Contains(line, "level=WARN") {
+		t.Errorf("1ns threshold did not escalate: %s", line)
+	}
+}

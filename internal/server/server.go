@@ -51,14 +51,17 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	semprox "repro"
 	"repro/api"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/wal"
 )
@@ -94,6 +97,16 @@ type role struct {
 type Server struct {
 	role atomic.Pointer[role]
 	mux  *http.ServeMux
+	// reg is this server's own metric registry: per-endpoint latency and
+	// status-class series plus the engine position gauges. Process-wide
+	// families (WAL, replica, engine hot paths) live on the obs default
+	// registry; /metrics renders the union, so one scrape sees both —
+	// and in-process multi-server stacks keep per-server HTTP counters
+	// separable, which is what lets loadgen cross-check request counts.
+	reg *obs.Registry
+	// wrap is mux behind the obs middleware (tracing, metrics, request
+	// log). Rebuilt by SetRequestLog — call that before serving.
+	wrap http.Handler
 	// autoCompact folds update overlays into flat storage from a
 	// background goroutine after each update; compacting wakes track the
 	// in-flight goroutines so tests (and graceful shutdown) can wait.
@@ -127,7 +140,7 @@ type Server struct {
 // /v1 path and at its unversioned legacy alias — serving byte-identical
 // responses (error messages mention the canonical /v1 path either way).
 func New(eng *semprox.Engine) *Server {
-	s := &Server{mux: http.NewServeMux(), autoCompact: true}
+	s := &Server{mux: http.NewServeMux(), reg: obs.NewRegistry(), autoCompact: true}
 	s.role.Store(&role{eng: eng})
 	for path, h := range map[string]http.HandlerFunc{
 		api.PathHealthz:           s.handleHealthz,
@@ -143,7 +156,61 @@ func New(eng *semprox.Engine) *Server {
 		s.mux.HandleFunc(path, h)
 		s.mux.HandleFunc(api.LegacyPath(path), h)
 	}
+	s.mux.Handle(metricsPath, obs.Handler(s.reg, obs.Default()))
+	// The epoch/LSN gauges read through s.engine() so a follower's
+	// re-bootstrap (which swaps engines) and a promotion keep the series
+	// pointed at whatever engine is actually serving.
+	s.reg.RegisterGaugeFunc("semprox_engine_epoch",
+		"Serving epoch of the engine behind this server (one per applied update).",
+		func() float64 { return float64(s.engine().Epoch()) })
+	s.reg.RegisterGaugeFunc("semprox_engine_lsn",
+		"Durable log position of the serving epoch.",
+		func() float64 { return float64(s.engine().LSN()) })
+	s.buildWrap(nil, 0)
 	return s
+}
+
+// metricsPath serves the Prometheus exposition. Unversioned on purpose:
+// it is operational surface, not part of the /v1 wire contract.
+const metricsPath = "/metrics"
+
+// buildWrap (re)wraps the mux with the obs middleware.
+func (s *Server) buildWrap(logger *slog.Logger, slow time.Duration) {
+	s.wrap = obs.WrapHTTP(s.mux, obs.HTTPOptions{
+		Registry:      s.reg,
+		TraceHeader:   api.HeaderTrace,
+		Component:     "server",
+		Logger:        logger,
+		SlowThreshold: slow,
+		PathLabel:     pathLabel,
+		EpochHeader:   api.HeaderEpoch,
+	})
+}
+
+// SetRequestLog enables one structured log line per request on logger —
+// endpoint, status, latency, trace ID, serving epoch — escalated to Warn
+// when a request takes at least slow (0 never escalates). The daemons
+// enable this; in-process test stacks stay quiet by default. Call before
+// serving.
+func (s *Server) SetRequestLog(logger *slog.Logger, slow time.Duration) {
+	s.buildWrap(logger, slow)
+}
+
+// knownPaths bounds metric label cardinality: canonical /v1 paths and
+// /metrics keep their names, everything else (typos, scans) collapses.
+var knownPaths = func() map[string]bool {
+	m := map[string]bool{metricsPath: true}
+	for _, p := range api.Paths() {
+		m[p] = true
+	}
+	return m
+}()
+
+func pathLabel(p string) string {
+	if c := api.CanonicalPath(p); knownPaths[c] {
+		return c
+	}
+	return "other"
 }
 
 // AttachWAL makes the server a primary: every accepted update is
@@ -215,7 +282,7 @@ func (s *Server) SetAutoCompact(on bool) { s.autoCompact = on }
 func (s *Server) WaitCompactions() { s.compacting.Wait() }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.wrap.ServeHTTP(w, r) }
 
 // errBadRequest builds a 400 with code "bad_request".
 func errBadRequest(format string, args ...any) *api.Error {

@@ -61,6 +61,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/atomicfile"
 	"repro/internal/faultfs"
@@ -235,6 +236,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if err := w.loadSkips(); err != nil {
 		return nil, err
 	}
+	w.registerGauges()
 	go w.flusherLoop()
 	go w.syncerLoop()
 	return w, nil
@@ -659,6 +661,7 @@ func (w *WAL) Append(d graph.Delta) (uint64, error) {
 	}
 	lsn := w.next
 	w.enqueueLocked(lsn, w.term, body)
+	walAppends.Inc()
 	if !w.writing {
 		w.leadOnceLocked()
 	}
@@ -710,6 +713,7 @@ func (w *WAL) AppendAsync(d graph.Delta) (uint64, error) {
 	}
 	lsn := w.next
 	w.enqueueLocked(lsn, w.term, body)
+	walAppends.Inc()
 	// Hand the batch to the flusher rather than leading inline: an async
 	// appender is a stream, and the records it enqueues while the
 	// flusher is writing the previous batch become the next convoy — one
@@ -762,6 +766,7 @@ func (w *WAL) AppendRawBatch(recs []RawRecord) error {
 	for _, r := range recs {
 		w.enqueueLocked(r.LSN, r.Term, r.Delta)
 	}
+	walAppends.Add(uint64(len(recs)))
 	if !w.writing {
 		w.leadOnceLocked()
 	}
@@ -868,6 +873,7 @@ func (w *WAL) leadOnceLocked() {
 		w.wakeAll()
 		return
 	}
+	walBatch.Observe(int64(last - first + 1))
 	w.mu.Lock()
 	w.activeSize += int64(len(batch))
 	w.segments[len(w.segments)-1].last = last
@@ -949,7 +955,9 @@ func (w *WAL) syncReqs(reqs []syncReq) {
 	if !bad {
 		err := w.opts.Inject.Check(faultfs.OpSync)
 		if err == nil {
+			start := time.Now()
 			err = reqs[0].f.Sync()
+			walFsync.Since(start)
 		}
 		w.mu.Lock()
 		if err != nil {

@@ -1,0 +1,18 @@
+// Engine observability: the update hot path records into the obs
+// default registry (every engine in the process folds into one series —
+// a real daemon runs one engine; in-process test stacks share the
+// family, which only fattens the histograms). Per-instance gauges (the
+// serving epoch) are registered by the tier that owns the instance —
+// internal/server wires a GaugeFunc over its engine's Stats.
+package semprox
+
+import "repro/internal/obs"
+
+var (
+	engApply = obs.Default().Histogram("semprox_engine_apply_seconds",
+		"ApplyUpdate latency: validate, patch, and publish one new serving epoch.", obs.Seconds)
+	engRematched = obs.Default().Histogram("semprox_engine_rematched_metagraphs",
+		"Matched metagraphs incrementally re-matched per update — the delta-bounded work the paper's offline rebuild would redo in full.", obs.Units)
+	engCompactions = obs.Default().Counter("semprox_engine_compactions_total",
+		"Background compactions that folded update overlays into flat storage.")
+)

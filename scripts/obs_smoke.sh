@@ -1,0 +1,218 @@
+#!/usr/bin/env bash
+# Observability smoke test: build semproxd + semproxy + semproxctl, run
+# a durable primary, a follower, and a semproxy edge tier on loopback
+# with request logging and a pprof listener, and prove the observability
+# claims end to end:
+#
+#   1. /metrics on the real daemons exposes the key families — WAL
+#      fsync latency, follower replication lag, per-endpoint request
+#      latency, hedge and cache counters — and the counters MOVE when
+#      traffic flows (a registry that renders but never increments
+#      would pass any static check).
+#   2. A caller-supplied X-Semprox-Trace ID on a routed read appears in
+#      BOTH the proxy's and a backend's request-log lines — one ID
+#      stitches the hop chain together — and is echoed on the response.
+#   3. The -debug-addr pprof listener answers, and semproxctl -metrics
+#      fetches a prefix-filtered exposition over the typed client.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. "$(dirname "$0")/smoke_lib.sh"
+
+PRIMARY=127.0.0.1:18121
+FOLLOWER=127.0.0.1:18122
+PROXY=127.0.0.1:18120
+DEBUG=127.0.0.1:18129
+smoke_init
+primary_pid=""
+f1_pid=""
+proxy_pid=""
+cleanup() {
+    [ -n "$proxy_pid" ] && kill "$proxy_pid" 2>/dev/null || true
+    [ -n "$f1_pid" ] && kill "$f1_pid" 2>/dev/null || true
+    [ -n "$primary_pid" ] && kill "$primary_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+    smoke_cleanup_tmp
+}
+trap cleanup EXIT
+
+# metric_value <metrics_url> <series_prefix>: print the value of the
+# first sample whose series starts with the prefix (exact series when
+# the prefix includes the full label set), or "MISSING".
+metric_value() {
+    local expo
+    expo=$(curl -fsS "$1")
+    echo "$expo" | awk -v p="$2" '
+        index($0, p) == 1 { print $NF; found = 1; exit }
+        END { if (!found) print "MISSING" }'
+}
+
+# require_series <metrics_url> <daemon_log> <series_prefix>...: every
+# prefix must match at least one sample line in the exposition. Retries
+# for a few seconds — the series all register before the daemon's
+# listener starts, so one settled scrape is expected; the retry absorbs
+# a slow scrape on a loaded CI box — then fails loudly with the full
+# semprox exposition and the daemon's log.
+require_series() {
+    local url=$1 logfile=$2 expo missing
+    shift 2
+    for _ in $(seq 1 20); do
+        expo=$(curl -fsS "$url")
+        missing=""
+        for p in "$@"; do
+            echo "$expo" | grep -q "^$p" || missing=$p
+        done
+        [ -z "$missing" ] && return 0
+        sleep 0.25
+    done
+    echo "FAIL: $url is missing series $missing" >&2
+    echo "$expo" | grep '^semprox' >&2 || true
+    echo "---- $logfile" >&2
+    tail -40 "$logfile" >&2
+    exit 1
+}
+
+echo "== build"
+go build -o "$tmp/semproxd" ./cmd/semproxd
+go build -o "$tmp/semproxy" ./cmd/semproxy
+go build -o "$tmp/semproxctl" ./cmd/semproxctl
+
+echo "== start durable primary (pprof on $DEBUG), one follower, and the edge proxy"
+start_daemon "$logdir/obs_primary.log" "http://$PRIMARY/v1/healthz" \
+    "$tmp/semproxd" -addr "$PRIMARY" -dataset linkedin -users 200 -classes college \
+    -wal "$tmp/wal" -debug-addr "$DEBUG"
+primary_pid=$daemon_pid
+start_daemon "$logdir/obs_follower.log" "http://$FOLLOWER/v1/healthz" \
+    "$tmp/semproxd" -addr "$FOLLOWER" -follow "http://$PRIMARY"
+f1_pid=$daemon_pid
+start_daemon "$logdir/obs_proxy.log" "http://$PROXY/v1/healthz" \
+    "$tmp/semproxy" -addr "$PROXY" -primary "http://$PRIMARY" \
+    -followers "http://$FOLLOWER" -stats-poll 200ms
+proxy_pid=$daemon_pid
+
+echo "== wait for the follower to enter the proxy's live set"
+live=""
+for _ in $(seq 1 240); do
+    v=$(metric_value "http://$PROXY/metrics" "semprox_router_live_followers ")
+    [ "$v" = 1 ] && live=1 && break
+    sleep 0.25
+done
+[ -n "$live" ] || {
+    echo "FAIL: proxy never reported semprox_router_live_followers 1" >&2
+    cat "$logdir/obs_proxy.log" >&2
+    exit 1
+}
+
+echo "== key families exist on every tier before the traffic-movement check"
+require_series "http://$PRIMARY/metrics" "$logdir/obs_primary.log" \
+    'semprox_wal_fsync_seconds_count' \
+    'semprox_wal_appends_total' \
+    'semprox_wal_term' \
+    'semprox_engine_epoch' \
+    'semprox_engine_lsn' \
+    'semprox_http_requests_total{' \
+    'semprox_http_request_seconds{'
+require_series "http://$FOLLOWER/metrics" "$logdir/obs_follower.log" \
+    'semprox_replica_lag' \
+    'semprox_replica_applied_lsn' \
+    'semprox_replica_polls_total' \
+    'semprox_replica_bootstraps_total'
+require_series "http://$PROXY/metrics" "$logdir/obs_proxy.log" \
+    'semprox_proxy_hedges_total{outcome="issued"}' \
+    'semprox_proxy_cache_lookups_total{result="hit"}' \
+    'semprox_proxy_cache_lookups_total{result="miss"}' \
+    'semprox_proxy_reads_total' \
+    'semprox_router_live_followers'
+
+echo "== traffic moves the counters: queries through the proxy, an update through the primary"
+q_before=$(metric_value "http://$PROXY/metrics" 'semprox_http_requests_total{code="2xx",path="/v1/query"}')
+miss_before=$(metric_value "http://$PROXY/metrics" 'semprox_proxy_cache_lookups_total{result="miss"}')
+fsync_before=$(metric_value "http://$PRIMARY/metrics" 'semprox_wal_fsync_seconds_count')
+[ "$q_before" = MISSING ] && q_before=0
+[ "$miss_before" = MISSING ] && miss_before=0
+[ "$fsync_before" = MISSING ] && {
+    echo "FAIL: primary has no semprox_wal_fsync_seconds_count sample" >&2
+    exit 1
+}
+
+Q="http://$PROXY/v1/query?class=college&query=user-17&k=5"
+curl -fsS "$Q" >/dev/null
+curl -fsS "$Q" >/dev/null
+curl -fsS "http://$PROXY/v1/update" \
+    -d '{"nodes":[{"type":"user","name":"obs-1"}],"edges":[{"u":"obs-1","v":"user-17"}]}' >/dev/null
+
+moved=""
+for _ in $(seq 1 40); do
+    q_after=$(metric_value "http://$PROXY/metrics" 'semprox_http_requests_total{code="2xx",path="/v1/query"}')
+    hit_after=$(metric_value "http://$PROXY/metrics" 'semprox_proxy_cache_lookups_total{result="hit"}')
+    miss_after=$(metric_value "http://$PROXY/metrics" 'semprox_proxy_cache_lookups_total{result="miss"}')
+    fsync_after=$(metric_value "http://$PRIMARY/metrics" 'semprox_wal_fsync_seconds_count')
+    if [ "$q_after" != MISSING ] && [ "$q_after" -ge $((q_before + 2)) ] &&
+        [ "$hit_after" != MISSING ] && [ "$hit_after" -ge 1 ] &&
+        [ "$miss_after" -gt "$miss_before" ] &&
+        [ "$fsync_after" -gt "$fsync_before" ]; then
+        moved=1 && break
+    fi
+    sleep 0.25
+done
+[ -n "$moved" ] || {
+    echo "FAIL: counters did not move with traffic:" >&2
+    echo "  /v1/query 2xx: $q_before -> ${q_after:-?} (want +2)" >&2
+    echo "  cache hits: ${hit_after:-?} (want >= 1), misses: $miss_before -> ${miss_after:-?}" >&2
+    echo "  wal fsyncs: $fsync_before -> ${fsync_after:-?}" >&2
+    exit 1
+}
+
+echo "== follower replication lag returns to 0 after the update"
+caught_up=""
+for _ in $(seq 1 240); do
+    lag=$(metric_value "http://$FOLLOWER/metrics" 'semprox_replica_lag ')
+    [ "$lag" = 0 ] && caught_up=1 && break
+    sleep 0.25
+done
+[ -n "$caught_up" ] || {
+    echo "FAIL: follower lag never returned to 0 (last: ${lag:-?})" >&2
+    cat "$logdir/obs_follower.log" >&2
+    exit 1
+}
+
+echo "== one trace ID stitches the proxy and backend request logs together"
+TRACE=smoke-trace-123
+curl -fsS -D "$tmp/th" -H "X-Semprox-Trace: $TRACE" \
+    "http://$PROXY/v1/query?class=college&query=user-42&k=3" -o /dev/null
+grep -qi "^x-semprox-trace: $TRACE" "$tmp/th" || {
+    echo "FAIL: proxy response did not echo the caller's trace ID" >&2
+    cat "$tmp/th" >&2
+    exit 1
+}
+grep -q "trace=$TRACE" "$logdir/obs_proxy.log" || {
+    echo "FAIL: trace $TRACE missing from the proxy request log" >&2
+    tail -20 "$logdir/obs_proxy.log" >&2
+    exit 1
+}
+if ! grep -q "trace=$TRACE" "$logdir/obs_primary.log" "$logdir/obs_follower.log"; then
+    echo "FAIL: trace $TRACE missing from every backend request log" >&2
+    tail -10 "$logdir/obs_primary.log" "$logdir/obs_follower.log" >&2
+    exit 1
+fi
+
+echo "== the -debug-addr pprof listener answers"
+curl -fsS "http://$DEBUG/debug/pprof/" | grep -qi profile || {
+    echo "FAIL: pprof index on $DEBUG did not render" >&2
+    exit 1
+}
+
+echo "== semproxctl -metrics fetches a prefix-filtered exposition"
+"$tmp/semproxctl" -primary "http://$PRIMARY" -metrics -metrics-prefix semprox_wal \
+    >"$tmp/ctl_metrics" 2>/dev/null
+grep -q '^semprox_wal_fsync_seconds' "$tmp/ctl_metrics" || {
+    echo "FAIL: semproxctl -metrics output missing semprox_wal_fsync_seconds" >&2
+    cat "$tmp/ctl_metrics" >&2
+    exit 1
+}
+if grep -v '^#' "$tmp/ctl_metrics" | grep -q -v '^semprox_wal'; then
+    echo "FAIL: -metrics-prefix semprox_wal let foreign families through:" >&2
+    grep -v '^#' "$tmp/ctl_metrics" | grep -v '^semprox_wal' >&2
+    exit 1
+fi
+
+echo "OK: /metrics live on every tier with moving counters, one trace ID visible across the proxy and backend logs, pprof and semproxctl -metrics answering"

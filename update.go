@@ -3,6 +3,7 @@ package semprox
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/index"
@@ -139,6 +140,7 @@ func (e *Engine) AdvanceLSN(lsn uint64) {
 // WAL": advance the epoch's LSN by one so the counter still tracks update
 // count.
 func (e *Engine) applyUpdate(d Delta, lsn uint64, records int) (UpdateStats, error) {
+	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ep := e.cur.Load()
@@ -208,6 +210,8 @@ func (e *Engine) applyUpdate(d Delta, lsn uint64, records int) (UpdateStats, err
 	nep := &epoch{g: ng, metaIx: metaIx, classes: classes, version: ng.Version(), lsn: lsn}
 	e.publish(nep)
 	st.Pending = nep.pending
+	engApply.Since(start)
+	engRematched.Observe(int64(st.Rematched))
 	return st, nil
 }
 
@@ -275,6 +279,7 @@ func (e *Engine) Compact() {
 	if ep.pending == 0 {
 		return
 	}
+	engCompactions.Inc()
 	metaIx := make([]*index.Index, len(ep.metaIx))
 	for i, ix := range ep.metaIx {
 		if ix != nil {
