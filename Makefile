@@ -1,5 +1,6 @@
 # Tier-1 verification plus the invariants this repo adds on top:
-#   make ci  — lint (gofmt + vet), build, race-enabled tests, the
+#   make ci  — lint (gofmt + vet + the semproxlint analyzer suite),
+#              build, race-enabled tests, the
 #              per-package coverage floors (learning core, serving layer,
 #              public api + client, WAL, replica, load statistics), a
 #              bench smoke run that cross-checks parallel vs serial
@@ -24,26 +25,43 @@
 GO ?= go
 COVER_FLOOR ?= 80
 
-.PHONY: ci lint vet build test cover bench-smoke bench replication-smoke routing-smoke failover-smoke proxy-smoke obs-smoke load-smoke load-smoke-e2e load-gate load-bench proxy-bench
+.PHONY: ci lint vet build test cover fuzz-smoke bench-smoke bench replication-smoke routing-smoke failover-smoke proxy-smoke obs-smoke load-smoke load-smoke-e2e load-gate load-bench proxy-bench
 
-ci: lint build test cover bench-smoke replication-smoke routing-smoke failover-smoke proxy-smoke obs-smoke load-smoke load-gate
+ci: lint build test cover fuzz-smoke bench-smoke replication-smoke routing-smoke failover-smoke proxy-smoke obs-smoke load-smoke load-gate
 
-# gofmt must be a no-op and vet must be clean; staticcheck runs too when
-# the host has it installed (the dev container may not). CI installs a
-# pinned staticcheck and sets REQUIRE_STATICCHECK=1, which turns the
-# "not installed; skipped" branch into a hard failure — the lint job can
-# never silently thin itself there.
+# gofmt must be a no-op, vet must be clean, and the repo's own analyzer
+# suite (cmd/semproxlint: rawpath, atomicwrite, metricname, envelope,
+# ctxfirst, sleepwait — the invariants DESIGN.md used to state as prose)
+# must report nothing. semproxlint builds from this repo, so unlike the
+# external tools it can never be "not installed" — it always runs, even
+# for contributors with nothing but the Go toolchain. staticcheck and
+# govulncheck run when the host has them (the dev container may not);
+# CI installs pinned versions and sets REQUIRE_STATICCHECK=1 /
+# REQUIRE_GOVULNCHECK=1, turning each "not installed; skipped" branch
+# into a hard failure — the lint job can never silently thin itself.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/semproxlint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		elif [ -n "$${REQUIRE_STATICCHECK:-}" ]; then \
 		echo "FAIL: REQUIRE_STATICCHECK set but staticcheck is not installed"; exit 1; \
 		else echo "staticcheck not installed; skipped"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		elif [ -n "$${REQUIRE_GOVULNCHECK:-}" ]; then \
+		echo "FAIL: REQUIRE_GOVULNCHECK set but govulncheck is not installed"; exit 1; \
+		else echo "govulncheck not installed; skipped"; fi
 
 vet:
 	$(GO) vet ./...
+
+# Bounded per-commit fuzzing: every Fuzz* target runs its engine for a
+# short budget (FUZZ_TIME, default 5s each) so corpora actually execute
+# on every commit instead of only replaying as seed cases (see
+# scripts/fuzz_smoke.sh; fails loudly if no targets are found).
+fuzz-smoke:
+	bash scripts/fuzz_smoke.sh
 
 build:
 	$(GO) build ./...
@@ -58,7 +76,7 @@ test:
 # any drop is a regression, not noise.
 COVER_PKGS ?= internal/core internal/server api client \
 	internal/wal:80 internal/replica:75 internal/loadstats:90 internal/report:85 \
-	internal/proxy:85 internal/obs:85
+	internal/proxy:85 internal/obs:85 internal/lint:90
 cover:
 	@for entry in $(COVER_PKGS); do \
 		pkg=$${entry%%:*}; floor=$${entry#*:}; \

@@ -7,13 +7,15 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/api"
 )
 
 // opPaths are the canonical endpoints loadgen operations land on (batch
 // queries POST to the query path); the server-side cross-check counts
-// exactly these, so probe (/v1/readyz), stats-poll, and replication
-// traffic never pollute the comparison.
-var opPaths = []string{"/v1/query", "/v1/proximity", "/v1/update"}
+// exactly these, so probe (readyz), stats-poll, and replication traffic
+// never pollute the comparison.
+var opPaths = []string{api.PathQuery, api.PathProximity, api.PathUpdate}
 
 // scrapeOpsServed sums semprox_http_requests_total over the operation
 // endpoints (all status classes) across every /metrics base of the tier

@@ -61,7 +61,7 @@ func main() {
 		k         = flag.Int("k", 0, "result count (0 = server default)")
 		n         = flag.Int("n", 1, "repeat the read n times; all responses must be identical")
 		update    = flag.String("update", "", "update JSON {\"nodes\":[...],\"edges\":[...]} to apply through the primary")
-		stats     = flag.Bool("stats", false, "print the primary's /v1/stats")
+		stats     = flag.Bool("stats", false, "print the primary's "+api.PathStats)
 		ready     = flag.Bool("ready", false, "print readiness of the primary and every follower; non-zero exit if any is not ready")
 		metrics   = flag.Bool("metrics", false, "print the primary's /metrics Prometheus exposition")
 		metPrefix = flag.String("metrics-prefix", "", "with -metrics, keep only families whose name starts with this prefix (HELP/TYPE lines included)")

@@ -1,0 +1,73 @@
+// Command semproxlint runs the repo's project-specific analyzers
+// (internal/lint) — the machine checks behind the conventions DESIGN.md
+// used to state as prose: rawpath, atomicwrite, metricname, envelope,
+// ctxfirst, sleepwait.
+//
+// Two modes, one binary:
+//
+//	semproxlint ./...                      # driver mode (what make lint runs)
+//	go vet -vettool=$(command -v semproxlint) ./...
+//
+// Driver mode re-executes itself through `go vet -vettool`, which hands
+// each package's syntax and type information to the unitchecker
+// protocol — the same way staticcheck and vet run, with no extra
+// package-loading machinery. Any argument that looks like a flag or a
+// unitchecker *.cfg file selects vet-tool mode, so the one binary serves
+// both invocations.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && isPackagePatterns(args) {
+		os.Exit(drive(args))
+	}
+	// Vet-tool protocol: cmd/go invokes the tool with -V=full, -flags,
+	// and per-package *.cfg files. unitchecker never returns.
+	unitchecker.Main(lint.Analyzers()...)
+}
+
+// isPackagePatterns reports whether every argument reads as a package
+// pattern ("./...", "repro/client"), i.e. none is a flag or a
+// unitchecker config file.
+func isPackagePatterns(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return false
+		}
+	}
+	return true
+}
+
+// drive re-executes this binary under `go vet -vettool`, which performs
+// the package loading, caching, and diagnostic rendering. The exit code
+// is vet's: non-zero when any analyzer reports.
+func drive(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semproxlint: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "semproxlint: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestAtomicWrite pins that the four raw persistence callees
+// (os.Create, os.CreateTemp, os.Rename, (*os.File).Sync) are reported
+// outside internal/atomicfile and internal/wal, that reads and
+// non-durable writes are not, and that the two blessed packages stay
+// exempt.
+func TestAtomicWrite(t *testing.T) {
+	linttest.Run(t, testdata(t), lint.AtomicWrite,
+		"repro/internal/snapshot", "repro/internal/atomicfile", "repro/internal/wal")
+}

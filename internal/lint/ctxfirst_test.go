@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestCtxFirst pins the cancellation-discipline rules in the I/O
+// packages: an exported function's context.Context parameter must be
+// first (multi-name parameter fields count positions correctly),
+// unexported helpers are unconstrained, and mid-path
+// context.Background()/TODO() calls are reported.
+func TestCtxFirst(t *testing.T) {
+	linttest.Run(t, testdata(t), lint.CtxFirst, "repro/internal/replica")
+}

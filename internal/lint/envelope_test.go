@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestEnvelope pins that http.Error and fmt.Fprint* onto a
+// ResponseWriter are reported inside internal/server (the envelope
+// helpers being the only sanctioned error path), that printing to a
+// non-ResponseWriter is not, and that packages outside
+// internal/server + internal/proxy (repro/cmd/etool) are out of scope.
+func TestEnvelope(t *testing.T) {
+	linttest.Run(t, testdata(t), lint.Envelope, "repro/internal/server", "repro/cmd/etool")
+}

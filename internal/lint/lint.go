@@ -1,0 +1,173 @@
+// Package lint is the repo's project-specific analyzer suite: every
+// load-bearing convention that earlier PRs enforced by review (versioned
+// paths live only in api, durable files go through internal/atomicfile,
+// metric names are literal and cardinality-bounded, handlers render
+// errors through the api envelope, exported I/O takes a leading context,
+// serving code never sleep-polls) is a go/analysis pass here, run by
+// cmd/semproxlint under `make lint` and CI.
+//
+// Suppression: a finding can be silenced with a
+//
+//	//lint:semprox-allow <justification>
+//
+// comment on the offending line or the line directly above it. The
+// justification is mandatory — an allow comment without one is itself
+// reported — so every suppression carries its reason in the diff, the
+// same way the DESIGN.md prose used to.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Analyzers returns the full suite in a stable order; cmd/semproxlint
+// registers exactly this slice, so adding an analyzer here is all it
+// takes to put a new invariant under CI.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		RawPath,
+		AtomicWrite,
+		MetricName,
+		Envelope,
+		CtxFirst,
+		SleepWait,
+	}
+}
+
+// Package paths the analyzers scope their rules by. Test variants
+// ("repro/api_test" external test packages) normalize to the same path.
+const (
+	pkgAPI        = "repro/api"
+	pkgClient     = "repro/client"
+	pkgAtomicfile = "repro/internal/atomicfile"
+	pkgObs        = "repro/internal/obs"
+	pkgProxy      = "repro/internal/proxy"
+	pkgReplica    = "repro/internal/replica"
+	pkgServer     = "repro/internal/server"
+	pkgWAL        = "repro/internal/wal"
+)
+
+// normPkgPath maps an external test package ("repro/api_test") onto the
+// package it tests, so scoping rules treat both the same way.
+func normPkgPath(pass *analysis.Pass) string {
+	return strings.TrimSuffix(pass.Pkg.Path(), "_test")
+}
+
+// pkgIn reports whether the pass's package is one of paths.
+func pkgIn(pass *analysis.Pass, paths ...string) bool {
+	p := normPkgPath(pass)
+	for _, want := range paths {
+		if p == want {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether file was parsed from a _test.go file.
+// Conventions about serving-path code do not bind tests: tests poll,
+// hardcode wire bytes, and write scratch files on purpose.
+func isTestFile(pass *analysis.Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// calleeName resolves the statically-called function of call to its
+// FullName ("os.Rename", "(*os.File).Sync"), or "" when the callee is
+// dynamic.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	f, ok := fn.(*types.Func)
+	if !ok {
+		return ""
+	}
+	return f.FullName()
+}
+
+// allowDirective is the suppression escape hatch every analyzer honors.
+const allowDirective = "//lint:semprox-allow"
+
+// suppressor indexes the //lint:semprox-allow comments of a pass so
+// report can drop findings the code explicitly (and justifiedly) waived.
+type suppressor struct {
+	pass *analysis.Pass
+	// allows maps filename → line → justification text ("" = missing).
+	allows map[string]map[int]string
+}
+
+func newSuppressor(pass *analysis.Pass) *suppressor {
+	s := &suppressor{pass: pass, allows: make(map[string]map[int]string)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowDirective)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. //lint:semprox-allowx — not the directive
+				}
+				p := pass.Fset.Position(c.Pos())
+				m := s.allows[p.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					s.allows[p.Filename] = m
+				}
+				m[p.Line] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return s
+}
+
+// report emits a diagnostic at pos unless an allow comment with a
+// non-empty justification covers the line (same line or the line above).
+// An allow comment without a justification does not suppress — the
+// finding is re-reported with a reminder, so "zero unexplained
+// suppressions" is machine-checked too.
+func (s *suppressor) report(pos token.Pos, format string, args ...any) {
+	p := s.pass.Fset.Position(pos)
+	if m := s.allows[p.Filename]; m != nil {
+		for _, line := range []int{p.Line, p.Line - 1} {
+			reason, ok := m[line]
+			if !ok {
+				continue
+			}
+			if reason != "" {
+				return // justified waiver
+			}
+			s.pass.Reportf(pos, "%s (//lint:semprox-allow needs a justification: //lint:semprox-allow <why this line is exempt>)",
+				fmt.Sprintf(format, args...))
+			return
+		}
+	}
+	s.pass.Reportf(pos, format, args...)
+}
+
+// stringTagsAndImports collects the BasicLits of a file that are import
+// paths or struct tags, which path- and name-shaped rules must never
+// fire on.
+func stringTagsAndImports(file *ast.File) map[*ast.BasicLit]bool {
+	skip := make(map[*ast.BasicLit]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ImportSpec:
+			skip[n.Path] = true
+		case *ast.Field:
+			if n.Tag != nil {
+				skip[n.Tag] = true
+			}
+		}
+		return true
+	})
+	return skip
+}

@@ -1,0 +1,261 @@
+// Package linttest is the golden-file harness the analyzer suite's
+// tests run on: a small, hermetic analogue of
+// golang.org/x/tools/go/analysis/analysistest (which is not in the
+// vendored subset of x/tools).
+//
+// Layout is analysistest's GOPATH style: a testdata directory holds
+// src/<import/path>/*.go trees. Every import — including "stdlib"
+// packages like os, time, net/http — resolves from the same tree, so
+// testdata ships tiny fakes of the handful of standard declarations the
+// analyzers match on (same import paths, same names) and a run never
+// type-checks the real standard library: goldens are fast, offline, and
+// independent of the host toolchain's sources.
+//
+// Expectations are analysistest's syntax: a comment
+//
+//	// want `regexp` "another regexp"
+//
+// on the line of the expected diagnostic. Every diagnostic must match an
+// expectation on its exact line and every expectation must be consumed,
+// so goldens pin both the positives and the negatives.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each named package (and, transitively, everything it
+// imports) from dir's GOPATH-style src/ tree, applies a to each named
+// package, and fails t on any mismatch between reported diagnostics and
+// the // want expectations in the package's files.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	if len(a.Requires) > 0 {
+		t.Fatalf("linttest cannot run %s: analyzers with Requires need a full driver", a.Name)
+	}
+	l := &loader{
+		t:    t,
+		fset: token.NewFileSet(),
+		src:  filepath.Join(dir, "src"),
+		pkgs: make(map[string]*pkgInfo),
+	}
+	for _, path := range pkgs {
+		pi := l.load(path)
+		diags := runAnalyzer(t, a, l.fset, pi)
+		checkExpectations(t, a.Name, l.fset, pi.files, diags)
+	}
+}
+
+// pkgInfo is one type-checked testdata package.
+type pkgInfo struct {
+	tpkg  *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves and memoizes testdata packages; it is the
+// types.Importer of its own type-checking runs, so fakes in the tree
+// shadow the real standard library by construction.
+type loader struct {
+	t       *testing.T
+	fset    *token.FileSet
+	src     string
+	pkgs    map[string]*pkgInfo
+	loading []string // active import chain, for cycle reporting
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path))); err != nil {
+		// Not in the tree: fall back to the compiler's export data so
+		// testdata may also lean on real stdlib when a fake would be
+		// bigger than the real thing.
+		return importer.Default().Import(path)
+	}
+	return l.load(path).tpkg, nil
+}
+
+func (l *loader) load(path string) *pkgInfo {
+	l.t.Helper()
+	if pi, ok := l.pkgs[path]; ok {
+		if pi == nil {
+			l.t.Fatalf("import cycle in testdata: %s", strings.Join(append(l.loading, path), " -> "))
+		}
+		return pi
+	}
+	l.pkgs[path] = nil // cycle marker
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.t.Fatalf("loading testdata package %s: %v", path, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		l.t.Fatalf("testdata package %s has no .go files", path)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			l.t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	var terrs []string
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { terrs = append(terrs, err.Error()) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(terrs) > 0 {
+		l.t.Fatalf("type errors in testdata package %s (testdata must compile):\n  %s",
+			path, strings.Join(terrs, "\n  "))
+	}
+	pi := &pkgInfo{tpkg: tpkg, files: files, info: info}
+	l.pkgs[path] = pi
+	return pi
+}
+
+// runAnalyzer applies a to one package and collects its diagnostics.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, pi *pkgInfo) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      pi.files,
+		Pkg:        pi.tpkg,
+		TypesInfo:  pi.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]any),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s failed on %s: %v", a.Name, pi.tpkg.Path(), err)
+	}
+	return diags
+}
+
+// expectation is one parsed // want regexp, consumed by at most one
+// diagnostic on its line.
+type expectation struct {
+	re       *regexp.Regexp
+	raw      string
+	consumed bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// checkExpectations matches diagnostics against // want comments
+// line-for-line.
+func checkExpectations(t *testing.T, name string, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				exps, err := parseWants(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+				}
+				k := lineKey{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], exps...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for _, exp := range wants[k] {
+			if !exp.consumed && exp.re.MatchString(d.Message) {
+				exp.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", pos.Filename, pos.Line, name, d.Message)
+		}
+	}
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.consumed {
+				t.Errorf("%s:%d: no %s diagnostic matched want %q", k.file, k.line, name, exp.raw)
+			}
+		}
+	}
+}
+
+// parseWants splits a want payload into its quoted regexps; both
+// double-quoted and backquoted forms are accepted, as in analysistest.
+func parseWants(s string) ([]*expectation, error) {
+	var out []*expectation
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected a quoted regexp, found %q", s)
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("unterminated quoted regexp in %q", s)
+		}
+		raw, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", q, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("compiling want regexp %q: %v", raw, err)
+		}
+		out = append(out, &expectation{re: re, raw: raw})
+		s = s[len(q):]
+	}
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestMetricName pins the registration-site rules: names must be
+// compile-time constant semprox_-prefixed snake_case strings (named
+// constants pass, runtime concatenations fail), and obs.L label values
+// must not reach into url.URL or the unbounded http.Request fields —
+// mapping through a bounded helper is the sanctioned shape.
+func TestMetricName(t *testing.T) {
+	linttest.Run(t, testdata(t), lint.MetricName, "repro/internal/metrics")
+}

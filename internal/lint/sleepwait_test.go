@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestSleepWait pins the polling rule: time.Sleep inside any loop shape
+// (for, range, nested) in serving code is reported exactly once, while
+// one-shot sleeps, sleeps inside goroutines launched from a loop, and
+// ticker-driven periodic work stay silent.
+func TestSleepWait(t *testing.T) {
+	linttest.Run(t, testdata(t), lint.SleepWait, "repro/internal/proxy")
+}

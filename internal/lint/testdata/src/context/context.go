@@ -1,0 +1,15 @@
+// Package context fakes the two declarations the ctxfirst analyzer
+// matches on: the Context type and the Background/TODO constructors.
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+}
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+
+func Background() Context { return emptyCtx{} }
+
+func TODO() Context { return emptyCtx{} }

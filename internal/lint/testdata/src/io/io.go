@@ -1,0 +1,6 @@
+// Package io fakes the Writer interface fmt's fake constrains on.
+package io
+
+type Writer interface {
+	Write(p []byte) (n int, err error)
+}

@@ -1,0 +1,29 @@
+// Package http fakes the request/response surface the envelope and
+// metricname analyzers match on.
+package http
+
+import "net/url"
+
+type Header map[string][]string
+
+type Request struct {
+	Method     string
+	URL        *url.URL
+	RequestURI string
+	Host       string
+	Header     Header
+}
+
+type ResponseWriter interface {
+	Header() Header
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+func Error(w ResponseWriter, error string, code int) {}
+
+const (
+	StatusOK                  = 200
+	StatusBadRequest          = 400
+	StatusInternalServerError = 500
+)

@@ -1,0 +1,12 @@
+// Package url fakes the URL type whose members the metricname analyzer
+// treats as unbounded label sources.
+package url
+
+type URL struct {
+	Path     string
+	RawPath  string
+	RawQuery string
+}
+
+func (u *URL) String() string      { return u.Path }
+func (u *URL) EscapedPath() string { return u.Path }

@@ -1,0 +1,17 @@
+// Package os fakes the persistence primitives the atomicwrite analyzer
+// matches on.
+package os
+
+type File struct{}
+
+func (f *File) Name() string                      { return "" }
+func (f *File) Write(p []byte) (int, error)       { return len(p), nil }
+func (f *File) WriteString(s string) (int, error) { return len(s), nil }
+func (f *File) Sync() error                       { return nil }
+func (f *File) Close() error                      { return nil }
+
+func Rename(oldpath, newpath string) error                  { return nil }
+func Create(name string) (*File, error)                     { return &File{}, nil }
+func CreateTemp(dir, pattern string) (*File, error)         { return &File{}, nil }
+func Open(name string) (*File, error)                       { return &File{}, nil }
+func WriteFile(name string, data []byte, perm uint32) error { return nil }

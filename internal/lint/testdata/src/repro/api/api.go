@@ -1,0 +1,23 @@
+// Package api is the one package allowed to spell wire paths as
+// literals; rawpath must stay silent on every line here.
+package api
+
+const Version = "v1"
+
+const Prefix = "/" + Version
+
+const (
+	PathQuery     = Prefix + "/query"
+	PathProximity = Prefix + "/proximity"
+	PathUpdate    = "/v1/update"
+	PathStats     = Prefix + "/stats"
+)
+
+// LegacyPath mirrors the real helper's shape; the alias literal below is
+// in-bounds because this is the api package.
+func LegacyPath(p string) string {
+	if p == PathQuery {
+		return "/query"
+	}
+	return p
+}

@@ -1,0 +1,15 @@
+// Package main is outside envelope's scope (it owns no wire responses):
+// the same calls that fail internal/server are silent here.
+package main
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func debugDump(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+	fmt.Fprintf(w, "debug: %v", err)
+}
+
+func main() {}

@@ -1,0 +1,12 @@
+package main
+
+// The suppression hatch: a justified allow silences the finding, an
+// unjustified one re-reports it with a reminder.
+
+//lint:semprox-allow the replication smoke greps for this exact raw wire path
+var waivedPath = "/v1/query"
+
+var waivedInline = "/v1/proximity" //lint:semprox-allow byte-for-byte fixture the alias test compares against
+
+//lint:semprox-allow
+var unjustified = "/v1/update" // want `needs a justification`

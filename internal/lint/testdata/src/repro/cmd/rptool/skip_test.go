@@ -1,0 +1,8 @@
+package main
+
+// Test files are exempt from the path rule: tests hardcode wire bytes
+// on purpose. No want comments — a diagnostic here fails the golden.
+
+var testFixture = "/v1/query"
+
+var testAlias = "/proximity"

@@ -1,0 +1,41 @@
+// Package metrics exercises metricname: literal semprox_ snake_case
+// names and cardinality-bounded label values.
+package metrics
+
+import (
+	"net/http"
+	"repro/internal/obs"
+)
+
+const goodName = "semprox_reads_total"
+
+const badPrefix = "reads_total"
+
+var runtimeName = "semprox_runtime_total"
+
+func register(r *obs.Registry, req *http.Request) {
+	r.Counter(goodName, "named constants with the right shape pass")
+	r.Counter("semprox_writes_total", "literals with the right shape pass")
+	r.Counter(badPrefix, "help")                    // want `must be a semprox_-prefixed snake_case literal`
+	r.Counter("semprox_Bad-Name_total", "help")     // want `must be a semprox_-prefixed snake_case literal`
+	r.Counter("semprox__double_underscore", "help") // want `must be a semprox_-prefixed snake_case literal`
+	r.Counter(runtimeName, "help")                  // want `compile-time constant`
+	r.Counter("semprox_prefix_"+req.Host, "help")   // want `compile-time constant`
+	r.Gauge("semprox_cache_entries", "bounded labels pass", obs.L("tier", "edge"))
+	r.Histogram("semprox_lat_seconds", "help", 1e9,
+		obs.L("path", req.URL.Path)) // want `label value derives from the raw request URL`
+	r.RegisterGaugeFunc("semprox_live_followers", "help", func() float64 { return 0 })
+	_ = obs.L("uri", req.RequestURI)   // want `label value derives from the raw request \(\.RequestURI\)`
+	_ = obs.L("url", req.URL.String()) // want `label value derives from the raw request URL`
+	_ = obs.L("path", boundedPath(req))
+	_ = obs.L("verb", req.Method) // the verb set is bounded: in-bounds
+}
+
+// boundedPath maps raw paths onto a fixed table; reading req inside it
+// is fine — the rule binds label-value expressions, not helpers.
+func boundedPath(req *http.Request) string {
+	if req.URL.Path == "/v1/query" {
+		return "query"
+	}
+	return "other"
+}

@@ -1,0 +1,57 @@
+// Package proxy exercises sleepwait: no sleep-polling loops in serving
+// code.
+package proxy
+
+import (
+	"context"
+	"time"
+)
+
+func waitReady(ctx context.Context, ready func() bool) {
+	for !ready() {
+		time.Sleep(10 * time.Millisecond) // want `time.Sleep in a polling loop`
+	}
+}
+
+func drain(items []int, tick func(int)) {
+	for _, it := range items {
+		tick(it)
+		time.Sleep(time.Millisecond) // want `time.Sleep in a polling loop`
+	}
+}
+
+func nested(ready func() bool) {
+	for {
+		for !ready() {
+			time.Sleep(time.Second) // want `time.Sleep in a polling loop`
+		}
+		return
+	}
+}
+
+// A single settling sleep outside any loop is in-bounds.
+func settleOnce() { time.Sleep(time.Millisecond) }
+
+// A goroutine launched from a loop that sleeps once is not the loop
+// polling.
+func spawnWorkers(n int, run func()) {
+	for i := 0; i < n; i++ {
+		go func() {
+			time.Sleep(time.Millisecond)
+			run()
+		}()
+	}
+}
+
+// Ticker-driven periodic work is the blessed shape.
+func periodic(ctx context.Context, tick func()) {
+	t := time.NewTicker(time.Second)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			tick()
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package replica exercises ctxfirst: exported I/O entry points thread
+// the caller's context, first, and never mint their own.
+package replica
+
+import "context"
+
+type Follower struct{}
+
+// Exported with ctx first: the required shape.
+func (f *Follower) Bootstrap(ctx context.Context, full bool) error { return nil }
+
+func (f *Follower) Poll(max int, ctx context.Context) error { return nil } // want `context.Context must be the first parameter of exported Poll`
+
+func Connect(addr string, ctx context.Context) error { return nil } // want `context.Context must be the first parameter of exported Connect`
+
+func MultiName(a, b int, ctx context.Context) error { return nil } // want `first parameter of exported MultiName`
+
+// Unexported helpers may order parameters freely.
+func dial(addr string, ctx context.Context) error { return nil }
+
+func (f *Follower) Refresh() error {
+	ctx := context.Background() // want `context.Background\(\) mid-path`
+	<-ctx.Done()
+	return nil
+}
+
+func (f *Follower) Retarget() error {
+	_ = context.TODO() // want `context.TODO\(\) mid-path`
+	return nil
+}
+
+// NoCtx takes no context at all: nothing to order.
+func NoCtx(a, b int) int { return a + b }

@@ -1,0 +1,36 @@
+// Package server exercises envelope: error rendering inside the
+// response-owning packages must go through the api envelope helpers.
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+type apiError struct {
+	Code    string
+	Message string
+}
+
+func bad(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusInternalServerError) // want `http.Error writes a free-text body`
+	fmt.Fprintf(w, "oops: %v", err)                            // want `fmt.Fprintf onto an http.ResponseWriter`
+	fmt.Fprintln(w, "oops")                                    // want `fmt.Fprintln onto an http.ResponseWriter`
+	fmt.Fprint(w, "oops")                                      // want `fmt.Fprint onto an http.ResponseWriter`
+}
+
+func good(w http.ResponseWriter, err error) {
+	writeErr(w, &apiError{Code: "internal", Message: err.Error()})
+	// Printing to something that is not a ResponseWriter is in-bounds.
+	fmt.Fprintf(logBuf{}, "handled: %v", err)
+}
+
+// writeErr stands in for the real envelope helper.
+func writeErr(w http.ResponseWriter, e *apiError) {
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write([]byte(e.Code))
+}
+
+type logBuf struct{}
+
+func (logBuf) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,32 @@
+// Package snapshot exercises atomicwrite: hand-rolled persistence
+// outside the two blessed packages.
+package snapshot
+
+import "os"
+
+func saveByHand(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp") // want `os.Create outside internal/atomicfile`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil { // want `\(\*os\.File\)\.Sync outside internal/atomicfile`
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want `os.Rename outside internal/atomicfile`
+}
+
+func scratch(dir string) error {
+	_, err := os.CreateTemp(dir, "scratch-*") // want `os.CreateTemp outside internal/atomicfile`
+	return err
+}
+
+// Reading and non-durable writing stay in-bounds.
+func read(path string) (*os.File, error) { return os.Open(path) }
+
+func plainWrite(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }

@@ -1,0 +1,12 @@
+// Package wal owns its own fsync schedule; atomicwrite must stay
+// silent here.
+package wal
+
+import "os"
+
+func sealSegment(f *os.File, next string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), next)
+}

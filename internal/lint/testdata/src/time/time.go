@@ -1,0 +1,18 @@
+// Package time fakes the declarations the sleepwait analyzer matches on.
+package time
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Millisecond          = 1000 * 1000 * Nanosecond
+	Second               = 1000 * Millisecond
+)
+
+func Sleep(d Duration) {}
+
+type Ticker struct {
+	C <-chan struct{}
+}
+
+func NewTicker(d Duration) *Ticker { return &Ticker{} }

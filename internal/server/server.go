@@ -803,6 +803,7 @@ func (s *Server) handleReplicateSnapshot(w http.ResponseWriter, r *http.Request)
 	// after the first byte cannot become a structured response, so the
 	// client detects it as a truncated gob stream.
 	if err := primary.ServeSnapshot(w, r); err != nil {
+		//lint:semprox-allow mid-stream failure: headers (and possibly body bytes) are already sent, so no envelope can travel; the client detects the truncated gob stream
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
